@@ -1,0 +1,35 @@
+# PAINTER reproduction — stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure at prototype (PEERING) scale.
+experiments:
+	$(GO) run ./cmd/painter-bench -exp all -scale peering -iters 3
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/fig1-scenario
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/enterprise
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,259 @@
+// Command painter-bench regenerates the paper's tables and figures on
+// the simulated substrate. Each experiment prints the same rows/series
+// the paper reports.
+//
+// Usage:
+//
+//	painter-bench -exp fig6a              # one experiment
+//	painter-bench -exp all                # everything (slow at -scale azure)
+//	painter-bench -exp fig6b -scale peering -seed 7 -iters 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"painter/internal/experiments"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment id (fig3, fig6a, fig6b, fig6c, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig14, fig15a, fig15b, ablations, validation, all)")
+		scale   = flag.String("scale", "peering", "environment scale: small, peering, azure")
+		seed    = flag.Int64("seed", 7, "world seed")
+		iters   = flag.Int("iters", 2, "orchestrator learning iterations")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.ScaleSmall
+	case "peering":
+		sc = experiments.ScalePEERING
+	case "azure":
+		sc = experiments.ScaleAzure
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	wants := map[string]bool{}
+	for _, e := range strings.Split(*expName, ",") {
+		wants[strings.TrimSpace(e)] = true
+	}
+	all := wants["all"]
+	want := func(name string) bool { return all || wants[name] }
+
+	// Experiments that need no environment.
+	if want("fig3") {
+		timed("fig3", func() error {
+			an, err := experiments.RunFig3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig3Table(an))
+			return nil
+		})
+	}
+	if want("fig8") {
+		fmt.Println(experiments.Fig8Table(experiments.RunFig8()))
+	}
+	if want("fig10") {
+		timed("fig10", func() error {
+			res, err := experiments.RunFig10(experiments.DefaultFig10Config())
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig10Table(res))
+			return nil
+		})
+	}
+
+	needEnv := false
+	for _, n := range []string{"fig6a", "fig6b", "fig6c", "fig7", "fig9a", "fig9b",
+		"fig11a", "fig11b", "fig12a", "fig12b", "fig14", "fig15a", "fig15b", "ablations", "validation"} {
+		if want(n) {
+			needEnv = true
+		}
+	}
+	if !needEnv {
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "building %s-scale environment (seed %d)...\n", sc, *seed)
+	start := time.Now()
+	env, err := experiments.NewEnv(sc, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "environment ready in %v: %d PoPs, %d peerings, %d UGs\n",
+		time.Since(start).Truncate(time.Millisecond),
+		len(env.Deploy.PoPs), len(env.Deploy.AllPeeringIDs()), env.UGs.Len())
+
+	var fig6aRows []experiments.Fig6aResult
+	if want("fig6a") || want("fig14") {
+		timed("fig6a", func() error {
+			rows, err := experiments.RunFig6a(env, nil, *iters)
+			if err != nil {
+				return err
+			}
+			fig6aRows = rows
+			fmt.Println(experiments.Fig6aTable(rows))
+			return nil
+		})
+	}
+	if want("fig14") && fig6aRows != nil {
+		fmt.Println(experiments.Fig14Table(fig6aRows))
+	}
+	if want("fig6b") {
+		timed("fig6b", func() error {
+			rows, err := experiments.RunFig6b(env, nil, *iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig6bTable(rows))
+			return nil
+		})
+	}
+	if want("fig6c") {
+		timed("fig6c", func() error {
+			budget := env.Budgets([]float64{0.1})[0]
+			rows, err := experiments.RunFig6c(env, budget, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig6cTable(rows))
+			return nil
+		})
+	}
+	if want("fig7") {
+		timed("fig7", func() error {
+			budgets := env.Budgets([]float64{0.002, 0.021})
+			pts, err := experiments.RunFig7(env, budgets, 25, *iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig7Table(pts))
+			return nil
+		})
+	}
+	if want("fig9a") {
+		timed("fig9a", func() error {
+			rows, err := experiments.RunFig9a(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig9aTable(rows))
+			return nil
+		})
+	}
+	if want("fig9b") {
+		timed("fig9b", func() error {
+			rows, err := experiments.RunFig9b(env, nil, *iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig9bTable(rows))
+			return nil
+		})
+	}
+	if want("fig11a") {
+		timed("fig11a", func() error {
+			res, err := experiments.RunFig11a(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig11aTable(res))
+			return nil
+		})
+	}
+	if want("fig11b") {
+		timed("fig11b", func() error {
+			res, err := experiments.RunFig11b(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig11bTable(res))
+			return nil
+		})
+	}
+	if want("fig12a") {
+		timed("fig12a", func() error {
+			rows, err := experiments.RunFig12a(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig12aTable(rows))
+			return nil
+		})
+	}
+	if want("fig12b") {
+		timed("fig12b", func() error {
+			rows, err := experiments.RunFig12b(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig12bTable(rows))
+			return nil
+		})
+	}
+	if want("fig15a") {
+		timed("fig15a", func() error {
+			rows, err := experiments.RunFig15a(env, nil, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig15aTable(rows))
+			return nil
+		})
+	}
+	if want("validation") {
+		timed("validation", func() error {
+			v, err := experiments.RunComplianceValidation(env)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.ComplianceValidationTable(v))
+			return nil
+		})
+	}
+	if want("ablations") {
+		timed("ablations", func() error {
+			budget := env.Budgets([]float64{0.03})[0]
+			rows, err := experiments.RunAblations(env, budget)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.AblationTable(rows))
+			return nil
+		})
+	}
+	if want("fig15b") {
+		timed("fig15b", func() error {
+			rows, err := experiments.RunFig15b(env, nil, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig15bTable(rows))
+			return nil
+		})
+	}
+}
+
+func timed(name string, f func() error) {
+	start := time.Now()
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Truncate(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

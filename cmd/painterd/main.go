@@ -1,0 +1,60 @@
+// Command painterd runs the Advertisement Orchestrator as a service:
+// it owns a deployment (simulated substrate), computes advertisement
+// configurations on demand, evaluates them, and exposes the HTTP
+// control API defined in internal/controlapi:
+//
+//	GET  /status            deployment + orchestrator summary
+//	POST /solve             {"budget":25,"reuse_km":3000,"iterations":2}
+//	GET  /config            current configuration (prefix → peerings)
+//	GET  /evaluate          ground-truth benefit of the current config
+//	GET  /reports           per-iteration learning reports
+//
+// Computed configurations can also be announced over BGP to a route
+// server (-route-server host:port) — the "advertisement installation"
+// arrow of Fig. 4; pair with cmd/route-server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"painter/internal/controlapi"
+	"painter/internal/experiments"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8080", "HTTP control address")
+		scale       = flag.String("scale", "peering", "environment scale: small, peering, azure")
+		seed        = flag.Int64("seed", 7, "world seed")
+		routeServer = flag.String("route-server", "", "optional BGP route server to announce configs to (host:port)")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.ScaleSmall
+	case "peering":
+		sc = experiments.ScalePEERING
+	case "azure":
+		sc = experiments.ScaleAzure
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	log.Printf("painterd: building %s environment (seed %d)", *scale, *seed)
+	env, err := experiments.NewEnv(sc, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := controlapi.New(env, *routeServer)
+
+	st := env.Deploy.Stats()
+	log.Printf("painterd: ready — %d PoPs, %d peerings (%d transit), %d UGs; listening on %s",
+		st.PoPs, st.Peerings, st.Transit, env.UGs.Len(), *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}

@@ -1,0 +1,71 @@
+// Command route-server runs the PoP-side BGP route server: it accepts
+// sessions (e.g. from painterd installing advertisement configurations),
+// maintains a RIB, applies route-flap damping, and periodically logs its
+// view — doubling as a RIS-like collector for observing churn.
+//
+//	route-server -listen 127.0.0.1:1790 &
+//	painterd -route-server 127.0.0.1:1790
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"painter/internal/bgp"
+	"painter/internal/routeserver"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:1790", "BGP listen address")
+		localAS = flag.Uint("as", 64999, "local AS number")
+		damping = flag.Bool("damping", true, "enable RFC 2439 route-flap damping")
+		logIv   = flag.Duration("log-interval", 10*time.Second, "RIB summary logging interval (0 = off)")
+	)
+	flag.Parse()
+
+	cfg := routeserver.Config{
+		ListenAddr: *listen,
+		LocalAS:    uint16(*localAS),
+		BGPID:      0x0a00f311,
+		HoldTime:   30 * time.Second,
+		Logf:       routeserver.LogfStd,
+	}
+	if *damping {
+		d := bgp.DefaultDampingConfig()
+		cfg.Damping = &d
+	}
+	srv, err := routeserver.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("route-server: AS%d listening on %s (damping=%v)", *localAS, srv.Addr(), *damping)
+
+	if *logIv > 0 {
+		go func() {
+			t := time.NewTicker(*logIv)
+			defer t.Stop()
+			for range t.C {
+				st := srv.Stats()
+				log.Printf("rib: %d prefixes, %d sessions, %d updates, %d withdraws, %d suppressed",
+					st.Prefixes, st.Sessions, st.Updates, st.Withdraws, st.SuppressedAnnounces)
+				for _, p := range srv.RIB().Prefixes() {
+					if e, ok := srv.RIB().Best(p); ok {
+						fmt.Printf("  %-18s via peer %d path %v\n", p, e.Peer, e.ASPath)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("route-server: shutting down")
+}

@@ -1,0 +1,162 @@
+// Command tm-edge runs a Traffic Manager edge proxy: the cloud-edge
+// network stack component that probes every available tunnel
+// destination, steers new flows onto the best path, and fails over at
+// RTT timescales when a prefix is withdrawn (§3.2).
+//
+// Destinations come either from repeated -dest flags or by resolving a
+// service from a bootstrap TM-PoP:
+//
+//	tm-edge -resolve 127.0.0.1:4000 -service teleconf
+//	tm-edge -dest 127.0.0.1:4000,1,anycast -dest 127.0.0.1:4001,1
+//
+// With -demo, the edge generates a probe flow and prints per-second
+// status lines (selected destination, per-destination RTTs) — a live
+// miniature of Fig. 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"painter/internal/tm"
+	"painter/internal/tmproto"
+)
+
+type destList []tmproto.Destination
+
+func (d *destList) String() string { return fmt.Sprintf("%d destinations", len(*d)) }
+
+func (d *destList) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) < 2 {
+		return fmt.Errorf("want addr:port,popid[,anycast], got %q", v)
+	}
+	ap, err := netip.ParseAddrPort(parts[0])
+	if err != nil {
+		return err
+	}
+	pop, err := strconv.ParseUint(parts[1], 10, 32)
+	if err != nil {
+		return err
+	}
+	dest := tmproto.Destination{Addr: ap.Addr(), Port: ap.Port(), PoP: uint32(pop)}
+	if len(parts) > 2 && parts[2] == "anycast" {
+		dest.Anycast = true
+	}
+	*d = append(*d, dest)
+	return nil
+}
+
+func main() {
+	var dests destList
+	var (
+		resolve  = flag.String("resolve", "", "bootstrap TM-PoP address to resolve destinations from")
+		service  = flag.String("service", "default", "service name for resolution")
+		probeIv  = flag.Duration("probe-interval", 50*time.Millisecond, "probe cadence per destination")
+		demo     = flag.Bool("demo", false, "send a demo flow and print per-second status")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
+	)
+	flag.Var(&dests, "dest", "tunnel destination (addr:port,popid[,anycast]); repeatable")
+	flag.Parse()
+
+	cfg := tm.DefaultEdgeConfig()
+	cfg.ProbeInterval = *probeIv
+	cfg.Destinations = dests
+	cfg.OnEvent = func(ev tm.Event) {
+		switch ev.Kind {
+		case tm.EventSelected:
+			prev := "(none)"
+			if ev.Prev != nil {
+				prev = fmt.Sprintf("%s:%d", ev.Prev.Addr, ev.Prev.Port)
+			}
+			log.Printf("selected %s:%d (PoP %d, rtt %v) over %s",
+				ev.Dest.Addr, ev.Dest.Port, ev.Dest.PoP, ev.RTT.Truncate(time.Microsecond), prev)
+		case tm.EventDestDead:
+			log.Printf("destination %s:%d (PoP %d) DEAD after %v silence",
+				ev.Dest.Addr, ev.Dest.Port, ev.Dest.PoP, ev.SinceLastReply.Truncate(time.Millisecond))
+		case tm.EventDestAlive:
+			log.Printf("destination %s:%d (PoP %d) alive, rtt %v",
+				ev.Dest.Addr, ev.Dest.Port, ev.Dest.PoP, ev.RTT.Truncate(time.Microsecond))
+		}
+	}
+	if *demo {
+		cfg.OnReturn = func(flow tmproto.FlowKey, payload []byte) {
+			log.Printf("return traffic for %v: %d bytes", flow, len(payload))
+		}
+	}
+
+	edge, err := tm.NewEdge(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer edge.Close()
+	if *resolve != "" {
+		if err := edge.ResolveFrom(*resolve, *service, 3*time.Second); err != nil {
+			log.Fatalf("resolve: %v", err)
+		}
+		log.Printf("resolved %d destinations for service %q from %s",
+			len(edge.Status()), *service, *resolve)
+	}
+	if len(edge.Status()) == 0 {
+		log.Fatal("no destinations: use -dest or -resolve")
+	}
+	log.Printf("tm-edge up at %s with %d destinations", edge.Addr(), len(edge.Status()))
+
+	stop := make(chan struct{})
+	if *duration > 0 {
+		go func() { time.Sleep(*duration); close(stop) }()
+	}
+
+	if *demo {
+		go func() {
+			flow := tmproto.FlowKey{
+				Proto: 17,
+				Src:   netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("203.0.113.1"),
+				SrcPort: 40000, DstPort: 443,
+			}
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					i++
+					_ = edge.Send(flow, []byte(fmt.Sprintf("demo-%d", i)))
+					var b strings.Builder
+					for _, ds := range edge.Status() {
+						state := "down"
+						if ds.Alive {
+							state = ds.RTT.Truncate(100 * time.Microsecond).String()
+						}
+						sel := " "
+						if ds.Selected {
+							sel = "*"
+						}
+						fmt.Fprintf(&b, " %s[PoP%d %s]", sel, ds.Dest.PoP, state)
+					}
+					log.Printf("status:%s", b.String())
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case <-stop:
+	}
+	s := edge.Stats()
+	log.Printf("tm-edge: done — probes %d replies %d data %d/%d failovers %d repins %d",
+		s.ProbesSent, s.RepliesRcvd, s.DataSent, s.DataRcvd, s.Failovers, s.RepinnedFlows)
+}

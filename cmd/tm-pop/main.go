@@ -1,0 +1,93 @@
+// Command tm-pop runs a Traffic Manager PoP node: it terminates UDP
+// tunnels from TM-Edges, answers keepalive probes, NATs client flows
+// through the Known Flows table, serves the echo service, and answers
+// destination-resolution queries with the destination set the
+// Advertisement Orchestrator installed.
+//
+// Destinations are supplied as repeated -dest flags:
+//
+//	tm-pop -listen 127.0.0.1:4000 -pop-id 1 \
+//	       -dest 127.0.0.1:4000,1,anycast -dest 127.0.0.1:4001,1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"painter/internal/tm"
+	"painter/internal/tmproto"
+)
+
+type destList []tmproto.Destination
+
+func (d *destList) String() string { return fmt.Sprintf("%d destinations", len(*d)) }
+
+func (d *destList) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) < 2 {
+		return fmt.Errorf("want addr:port,popid[,anycast], got %q", v)
+	}
+	ap, err := netip.ParseAddrPort(parts[0])
+	if err != nil {
+		return fmt.Errorf("destination address %q: %w", parts[0], err)
+	}
+	pop, err := strconv.ParseUint(parts[1], 10, 32)
+	if err != nil {
+		return fmt.Errorf("pop id %q: %w", parts[1], err)
+	}
+	dest := tmproto.Destination{Addr: ap.Addr(), Port: ap.Port(), PoP: uint32(pop)}
+	if len(parts) > 2 && parts[2] == "anycast" {
+		dest.Anycast = true
+	}
+	*d = append(*d, dest)
+	return nil
+}
+
+func main() {
+	var dests destList
+	var (
+		listen  = flag.String("listen", "127.0.0.1:4000", "UDP listen address")
+		popID   = flag.Uint("pop-id", 1, "PoP identifier")
+		flowTTL = flag.Duration("flow-ttl", 5*time.Minute, "idle flow retention")
+		statsIv = flag.Duration("stats-interval", 10*time.Second, "stats logging interval (0 = off)")
+	)
+	flag.Var(&dests, "dest", "destination to advertise to edges (addr:port,popid[,anycast]); repeatable")
+	flag.Parse()
+
+	pop, err := tm.NewPoP(tm.PoPConfig{
+		ListenAddr:   *listen,
+		PoPID:        uint32(*popID),
+		Destinations: dests,
+		FlowTTL:      *flowTTL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pop.Close()
+	log.Printf("tm-pop %d listening on %s with %d advertised destinations", *popID, pop.Addr(), len(dests))
+
+	if *statsIv > 0 {
+		go func() {
+			t := time.NewTicker(*statsIv)
+			defer t.Stop()
+			for range t.C {
+				s := pop.Stats()
+				log.Printf("stats: data in/out %d/%d probes %d resolves %d flows %d malformed %d",
+					s.DataIn, s.DataOut, s.Probes, s.Resolves, s.ActiveFlows, s.Malformed)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("tm-pop: shutting down")
+}

@@ -1,0 +1,84 @@
+// Command topogen generates a synthetic Internet topology and prints a
+// summary plus optional dumps, for inspecting the substrate the
+// experiments run on.
+//
+//	topogen -tier1 12 -tier2 120 -stubs 2000 -seed 1
+//	topogen -stubs 500 -dump-cones -dump-deployment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"painter/internal/cloud"
+	"painter/internal/topology"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 1, "generator seed")
+		tier1      = flag.Int("tier1", 12, "tier-1 backbone count")
+		tier2      = flag.Int("tier2", 120, "tier-2 transit count")
+		stubs      = flag.Int("stubs", 2000, "stub AS count")
+		multihome  = flag.Float64("multihome", 2.4, "mean stub providers")
+		dumpCones  = flag.Bool("dump-cones", false, "print the 10 largest customer cones")
+		dumpDeploy = flag.Bool("dump-deployment", false, "build + summarize an Azure-profile deployment")
+	)
+	flag.Parse()
+
+	cfg := topology.GenConfig{
+		Seed: *seed, Tier1: *tier1, Tier2: *tier2, Stubs: *stubs,
+		MeanStubProviders: *multihome, Tier2PeerProb: 0.35,
+		EnterpriseFrac: 0.35, ContentFrac: 0.05,
+	}
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.Stats()
+	fmt.Printf("topology: %d ASes (%d tier-1, %d tier-2, %d stubs)\n", st.ASes, st.Tier1, st.Tier2, st.Stubs)
+	fmt.Printf("links:    %d customer, %d peer (total %d)\n", st.CustomerLinks, st.PeerLinks, st.Links)
+	fmt.Printf("cones:    largest %d ASes; mean stub multihoming %d\n", st.MaxConeSize, st.MeanStubProvs)
+
+	if *dumpCones {
+		type cone struct {
+			asn  topology.ASN
+			size int
+		}
+		var cones []cone
+		for _, n := range g.ASNs() {
+			if g.AS(n).Kind == topology.KindTransit {
+				cones = append(cones, cone{n, g.ConeSize(n)})
+			}
+		}
+		sort.Slice(cones, func(i, j int) bool {
+			if cones[i].size != cones[j].size {
+				return cones[i].size > cones[j].size
+			}
+			return cones[i].asn < cones[j].asn
+		})
+		fmt.Println("\nlargest customer cones:")
+		for i, c := range cones {
+			if i >= 10 {
+				break
+			}
+			fmt.Printf("  %-8v tier-%d cone=%d\n", c.asn, g.AS(c.asn).Tier, c.size)
+		}
+	}
+
+	if *dumpDeploy {
+		d, err := cloud.Build(g, 64500, cloud.AzureProfile())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds := d.Stats()
+		fmt.Printf("\ndeployment (azure profile): %d PoPs, %d peerings (%d transit), %.1f peers/PoP\n",
+			ds.PoPs, ds.Peerings, ds.Transit, ds.PeersPerPoPMean)
+		fmt.Println("PoPs:")
+		for _, p := range d.PoPs {
+			fmt.Printf("  %-4s peerings=%d\n", p.Metro, len(d.PeeringsAt(p.ID)))
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Advertise-sweep: compare all five advertisement strategies across
+// prefix budgets on one deployment — the data behind Fig. 6a.
+//
+//	go run ./examples/advertise-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"painter/internal/experiments"
+)
+
+func main() {
+	fmt.Println("building PEERING-scale environment (25 PoPs)...")
+	env, err := experiments.NewEnv(experiments.ScalePEERING, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d PoPs, %d peerings, %d user groups\n\n",
+		len(env.Deploy.PoPs), len(env.Deploy.AllPeeringIDs()), env.UGs.Len())
+
+	rows, err := experiments.RunFig6a(env, []float64{0.01, 0.03, 0.1, 0.3, 1.0}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.Fig6aTable(rows))
+	fmt.Println(experiments.Fig14Table(rows))
+
+	// Headline: at matched benefit, how many fewer prefixes does PAINTER
+	// use than One-per-Peering?
+	target := 0.75
+	painterAt, onePeerAt := -1, -1
+	for _, r := range rows {
+		if painterAt < 0 && r.Painter.Estimated >= target {
+			painterAt = r.Budget
+		}
+		if onePeerAt < 0 && r.OnePerPeer.Estimated >= target {
+			onePeerAt = r.Budget
+		}
+	}
+	switch {
+	case painterAt < 0:
+		fmt.Printf("PAINTER did not reach %.0f%% of possible benefit in this sweep\n", target*100)
+	case onePeerAt < 0:
+		fmt.Printf("PAINTER reached %.0f%% benefit with %d prefixes; One-per-Peering never did\n",
+			target*100, painterAt)
+	default:
+		fmt.Printf("at %.0f%% of possible benefit: PAINTER %d prefixes vs One-per-Peering %d (%.1fx savings)\n",
+			target*100, painterAt, onePeerAt, float64(onePeerAt)/float64(painterAt))
+	}
+}

@@ -1,0 +1,142 @@
+// Enterprise: a Fig. 2-style modern enterprise with three sites — an
+// international HQ, a regional branch office, and remote employees —
+// each running a TM-Edge (the cloud-edge network stack). Two TM-PoPs
+// serve them over links with site-specific latencies. Each site
+// resolves its destination set from the cloud, steers its flows onto
+// its own best path, and reports what it chose.
+//
+//	go run ./examples/enterprise
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"sync"
+	"time"
+
+	"painter/internal/netsim/emul"
+	"painter/internal/tm"
+	"painter/internal/tmproto"
+)
+
+type site struct {
+	name string
+	// One-way latencies from this site to PoP-A and PoP-B.
+	toA, toB time.Duration
+}
+
+func main() {
+	sites := []site{
+		{"international-hq", 8 * time.Millisecond, 45 * time.Millisecond},
+		{"regional-branch", 30 * time.Millisecond, 12 * time.Millisecond},
+		{"remote-employees", 25 * time.Millisecond, 22 * time.Millisecond},
+	}
+
+	popA, err := tm.NewPoP(tm.PoPConfig{ListenAddr: "127.0.0.1:0", PoPID: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer popA.Close()
+	popB, err := tm.NewPoP(tm.PoPConfig{ListenAddr: "127.0.0.1:0", PoPID: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer popB.Close()
+	fmt.Printf("cloud: PoP-A at %s, PoP-B at %s (echo service)\n\n", popA.Addr(), popB.Addr())
+
+	var wg sync.WaitGroup
+	results := make(chan string, len(sites))
+	for i, s := range sites {
+		wg.Add(1)
+		go func(i int, s site) {
+			defer wg.Done()
+			out, err := runSite(i, s, popA, popB)
+			if err != nil {
+				results <- fmt.Sprintf("%s: ERROR %v", s.name, err)
+				return
+			}
+			results <- out
+		}(i, s)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		fmt.Println(r)
+	}
+}
+
+func runSite(i int, s site, popA, popB *tm.PoP) (string, error) {
+	linkA, err := emul.NewLink(popA.Addr(), s.toA, int64(100+i))
+	if err != nil {
+		return "", err
+	}
+	defer linkA.Close()
+	linkB, err := emul.NewLink(popB.Addr(), s.toB, int64(200+i))
+	if err != nil {
+		return "", err
+	}
+	defer linkB.Close()
+
+	mkDest := func(l *emul.Link, pop uint32) tmproto.Destination {
+		ap := netip.MustParseAddrPort(l.Addr())
+		return tmproto.Destination{Addr: ap.Addr(), Port: ap.Port(), PoP: pop}
+	}
+	cfg := tm.DefaultEdgeConfig()
+	cfg.ProbeInterval = 20 * time.Millisecond
+	cfg.Destinations = []tmproto.Destination{mkDest(linkA, 1), mkDest(linkB, 2)}
+
+	echoes := make(chan struct{}, 64)
+	cfg.OnReturn = func(tmproto.FlowKey, []byte) { echoes <- struct{}{} }
+
+	edge, err := tm.NewEdge(cfg)
+	if err != nil {
+		return "", err
+	}
+	defer edge.Close()
+
+	// Wait for path selection to settle, then run some traffic.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := edge.Selected(); ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	flow := tmproto.FlowKey{
+		Proto:   6,
+		Src:     netip.AddrFrom4([4]byte{10, byte(i), 0, 1}),
+		Dst:     netip.MustParseAddr("203.0.113.10"),
+		SrcPort: uint16(40000 + i), DstPort: 443,
+	}
+	const sends = 20
+	for j := 0; j < sends; j++ {
+		if err := edge.Send(flow, []byte(fmt.Sprintf("%s payload %d", s.name, j))); err != nil {
+			return "", err
+		}
+	}
+	got := 0
+	timeout := time.After(3 * time.Second)
+	for got < sends {
+		select {
+		case <-echoes:
+			got++
+		case <-timeout:
+			return "", fmt.Errorf("only %d of %d echoes", got, sends)
+		}
+	}
+
+	sel, _ := edge.Selected()
+	var lines string
+	for _, ds := range edge.Status() {
+		mark := " "
+		if ds.Selected {
+			mark = "*"
+		}
+		lines += fmt.Sprintf("\n    %s PoP-%d rtt=%v", mark, ds.Dest.PoP, ds.RTT.Truncate(100*time.Microsecond))
+	}
+	return fmt.Sprintf("%-18s → pinned to PoP-%d, %d/%d echoes%s",
+		s.name, sel.PoP, got, sends, lines), nil
+}

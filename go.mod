@@ -1,0 +1,3 @@
+module painter
+
+go 1.22

@@ -1,0 +1,129 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the damper deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestDamper() (*Damper, *fakeClock) {
+	c := &fakeClock{t: time.Date(2023, 9, 10, 0, 0, 0, 0, time.UTC)}
+	return NewDamper(DefaultDampingConfig(), c.now), c
+}
+
+func TestDamperSuppressAfterRepeatedFlaps(t *testing.T) {
+	d, _ := newTestDamper()
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	if d.Suppressed(p) {
+		t.Fatal("fresh prefix suppressed")
+	}
+	d.OnWithdraw(p) // 1000
+	if d.Suppressed(p) {
+		t.Fatal("one flap should not suppress")
+	}
+	d.OnWithdraw(p) // 2000 >= threshold
+	if !d.Suppressed(p) {
+		t.Fatal("two rapid withdrawals should suppress")
+	}
+}
+
+func TestDamperPenaltyDecays(t *testing.T) {
+	d, c := newTestDamper()
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	d.OnWithdraw(p)
+	before := d.Penalty(p)
+	c.advance(15 * time.Minute) // one half-life
+	after := d.Penalty(p)
+	if after < before*0.45 || after > before*0.55 {
+		t.Errorf("penalty after one half-life = %v, want ~%v/2", after, before)
+	}
+	c.advance(10 * 15 * time.Minute)
+	if d.Penalty(p) != 0 {
+		t.Errorf("penalty should floor to zero, got %v", d.Penalty(p))
+	}
+}
+
+func TestDamperReuseAfterDecay(t *testing.T) {
+	d, c := newTestDamper()
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	d.OnWithdraw(p)
+	d.OnWithdraw(p)
+	d.OnWithdraw(p)
+	if !d.Suppressed(p) {
+		t.Fatal("should be suppressed")
+	}
+	// 3000 penalty decays below the 750 reuse threshold after two
+	// half-lives.
+	c.advance(30 * time.Minute)
+	if d.Suppressed(p) {
+		t.Errorf("penalty %v should have released suppression", d.Penalty(p))
+	}
+}
+
+func TestDamperMaxSuppressBound(t *testing.T) {
+	cfg := DefaultDampingConfig()
+	cfg.HalfLife = 24 * time.Hour // so decay never releases in this test
+	c := &fakeClock{t: time.Now()}
+	d := NewDamper(cfg, c.now)
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	for i := 0; i < 5; i++ {
+		d.OnWithdraw(p)
+	}
+	if !d.Suppressed(p) {
+		t.Fatal("should be suppressed")
+	}
+	c.advance(cfg.MaxSuppress + time.Minute)
+	if d.Suppressed(p) {
+		t.Error("MaxSuppress must bound suppression time")
+	}
+}
+
+func TestDamperAttrChangeCheaperThanWithdraw(t *testing.T) {
+	d, _ := newTestDamper()
+	pw := netip.MustParsePrefix("10.0.0.0/24")
+	pa := netip.MustParsePrefix("10.0.1.0/24")
+	d.OnWithdraw(pw)
+	d.OnAttrChange(pa)
+	if d.Penalty(pa) >= d.Penalty(pw) {
+		t.Errorf("attr change penalty %v should be below withdraw penalty %v",
+			d.Penalty(pa), d.Penalty(pw))
+	}
+}
+
+func TestSafeUpdateInterval(t *testing.T) {
+	d, c := newTestDamper()
+	iv := d.SafeUpdateInterval()
+	if iv <= 0 {
+		t.Fatalf("interval = %v", iv)
+	}
+	// Advertising at the safe interval must never suppress, even over
+	// many iterations (the orchestrator's pacing guarantee).
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	for i := 0; i < 200; i++ {
+		d.OnAttrChange(p)
+		if d.Suppressed(p) {
+			t.Fatalf("suppressed at iteration %d despite safe pacing (penalty %v)", i, d.Penalty(p))
+		}
+		c.advance(iv + time.Second)
+	}
+	// Advertising 5x faster must eventually suppress.
+	d2, c2 := newTestDamper()
+	suppressed := false
+	for i := 0; i < 200; i++ {
+		d2.OnAttrChange(p)
+		if d2.Suppressed(p) {
+			suppressed = true
+			break
+		}
+		c2.advance(iv / 5)
+	}
+	if !suppressed {
+		t.Error("flapping 5x faster than the safe interval should suppress")
+	}
+}

@@ -1,0 +1,448 @@
+// Package bgp implements the BGP machinery PAINTER depends on: a BGP-4
+// wire codec, RIBs with the standard decision process, a minimal TCP
+// speaker, and — most importantly for the evaluation — a whole-graph
+// route propagation engine that computes, for every AS in a topology,
+// which route (and therefore which cloud ingress) it selects under a
+// given advertisement, following Gao–Rexford export and selection rules.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"painter/internal/topology"
+)
+
+// IngressID identifies one cloud ingress: a specific (PoP, peer AS)
+// peering at which traffic enters the cloud. The cloud package assigns
+// these; the propagation engine treats them as opaque route tags.
+type IngressID int32
+
+// InvalidIngress is the zero value, never assigned to a real peering.
+const InvalidIngress IngressID = -1
+
+// RouteClass is the Gao–Rexford preference class of a learned route,
+// ordered best-first: routes learned from customers are preferred over
+// routes learned from peers over routes learned from providers.
+type RouteClass int8
+
+const (
+	ClassCustomer RouteClass = iota // learned from a customer
+	ClassPeer                       // learned from a peer
+	ClassProvider                   // learned from a provider
+)
+
+func (c RouteClass) String() string {
+	switch c {
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	default:
+		return "invalid"
+	}
+}
+
+// Route is a candidate or selected route at some AS for one prefix.
+type Route struct {
+	// Ingress tags the cloud peering where traffic following this route
+	// enters the cloud.
+	Ingress IngressID
+	// PathLen is the AS-path length from this AS to the origin,
+	// counting the origin.
+	PathLen int
+	// Class is the relationship class the route was learned through.
+	Class RouteClass
+	// Via is the neighbor AS the route was learned from (the next hop
+	// toward the cloud). For injection neighbors it is the origin.
+	Via topology.ASN
+}
+
+// Better reports whether r is strictly preferred over o by the standard
+// decision process prior to tie-breaking: lower class first (customer <
+// peer < provider), then shorter AS path.
+func (r Route) Better(o Route) bool {
+	if r.Class != o.Class {
+		return r.Class < o.Class
+	}
+	return r.PathLen < o.PathLen
+}
+
+// Injection is a point where the cloud injects an advertisement into the
+// topology: the neighbor AS receiving the advertisement, the class that
+// route has at the neighbor (determined by the neighbor's relationship to
+// the cloud: a transit provider of the cloud learns it from a customer,
+// a settlement-free peer learns it from a peer), and the ingress tag.
+//
+// Prepend adds that many extra copies of the cloud's ASN to the
+// advertised AS path on this peering only, making the route less
+// preferred wherever path length decides — the standard attribute-
+// manipulation knob prior work uses to expose additional paths
+// (§5.2.4's "All Policy-Compliant Paths" upper bound).
+type Injection struct {
+	Neighbor topology.ASN
+	Class    RouteClass
+	Ingress  IngressID
+	Prepend  int
+}
+
+// TieBreaker chooses among routes that are tied on (class, path length).
+// It returns the index of the chosen candidate. The candidates slice is
+// sorted deterministically before the call, so implementations may use
+// any stable rule (e.g., hidden per-AS preferences in netsim, or lowest
+// ingress ID for a deterministic default).
+type TieBreaker func(as topology.ASN, candidates []Route) int
+
+// MinIngressTieBreaker picks the candidate with the lowest ingress ID,
+// then lowest via ASN: a deterministic default.
+func MinIngressTieBreaker(_ topology.ASN, candidates []Route) int {
+	best := 0
+	for i := 1; i < len(candidates); i++ {
+		c, b := candidates[i], candidates[best]
+		if c.Ingress < b.Ingress || (c.Ingress == b.Ingress && c.Via < b.Via) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Propagate computes the route every AS selects for one prefix announced
+// via the given injections, honoring valley-free export rules:
+//
+//   - customer-learned routes are exported to providers, peers, and
+//     customers;
+//   - peer-learned and provider-learned routes are exported only to
+//     customers.
+//
+// Selection is class-first, then shortest path, then the tie-breaker.
+// The returned map contains an entry for every AS that has any route.
+//
+// The implementation runs the classic three-phase BFS (up the customer
+// hierarchy, across one peer hop, down to customers), which yields the
+// same result as iterating the BGP decision process to convergence on a
+// policy-annotated graph.
+func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[topology.ASN]Route, error) {
+	if tb == nil {
+		tb = MinIngressTieBreaker
+	}
+	for _, inj := range injections {
+		if !g.Has(inj.Neighbor) {
+			return nil, fmt.Errorf("bgp: injection neighbor %v not in topology", inj.Neighbor)
+		}
+		if inj.Ingress < 0 {
+			return nil, fmt.Errorf("bgp: invalid ingress id %d", inj.Ingress)
+		}
+		if inj.Prepend < 0 || inj.Prepend > 16 {
+			return nil, fmt.Errorf("bgp: prepend %d out of range [0,16]", inj.Prepend)
+		}
+	}
+
+	selected := make(map[topology.ASN]Route)
+
+	settle := func(as topology.ASN, cands []Route) Route {
+		// Deterministic candidate order so tie-breakers see a stable view.
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Ingress != cands[j].Ingress {
+				return cands[i].Ingress < cands[j].Ingress
+			}
+			return cands[i].Via < cands[j].Via
+		})
+		r := cands[tb(as, cands)]
+		selected[as] = r
+		return r
+	}
+
+	// --- Phase 1: customer routes propagate up provider chains.
+	// Level-synchronous BFS keyed by path length (prepending makes
+	// starting lengths differ across injections).
+	levels := make(map[int]map[topology.ASN][]Route)
+	addLevel := func(l int, as topology.ASN, r Route) {
+		m := levels[l]
+		if m == nil {
+			m = make(map[topology.ASN][]Route)
+			levels[l] = m
+		}
+		m[as] = append(m[as], r)
+	}
+	maxLevel := 0
+	for _, inj := range injections {
+		if inj.Class != ClassCustomer {
+			continue
+		}
+		l := 1 + inj.Prepend
+		addLevel(l, inj.Neighbor, Route{
+			Ingress: inj.Ingress, PathLen: l, Class: ClassCustomer, Via: inj.Neighbor,
+		})
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for l := 1; l <= maxLevel; l++ {
+		m := levels[l]
+		if m == nil {
+			continue
+		}
+		// Settle this level in deterministic ASN order.
+		for _, as := range sortedKeys(m) {
+			if _, done := selected[as]; done {
+				continue
+			}
+			r := settle(as, m[as])
+			// Export customer route to providers (stay in phase 1).
+			for _, p := range g.AS(as).Providers {
+				if _, done := selected[p]; !done {
+					addLevel(r.PathLen+1, p, Route{
+						Ingress: r.Ingress, PathLen: r.PathLen + 1, Class: ClassCustomer, Via: as,
+					})
+					if r.PathLen+1 > maxLevel {
+						maxLevel = r.PathLen + 1
+					}
+				}
+			}
+		}
+		delete(levels, l)
+	}
+
+	// --- Phase 2: one hop across peer links.
+	// Sources: all ASes settled with a customer route, plus direct peer
+	// injections.
+	peerCands := make(map[topology.ASN][]Route)
+	for _, inj := range injections {
+		if inj.Class != ClassPeer {
+			continue
+		}
+		if _, done := selected[inj.Neighbor]; done {
+			continue
+		}
+		peerCands[inj.Neighbor] = append(peerCands[inj.Neighbor], Route{
+			Ingress: inj.Ingress, PathLen: 1 + inj.Prepend, Class: ClassPeer, Via: inj.Neighbor,
+		})
+	}
+	for _, as := range sortedKeys(selected) {
+		r := selected[as]
+		if r.Class != ClassCustomer {
+			continue
+		}
+		for _, p := range g.AS(as).Peers {
+			if _, done := selected[p]; !done {
+				peerCands[p] = append(peerCands[p], Route{
+					Ingress: r.Ingress, PathLen: r.PathLen + 1, Class: ClassPeer, Via: as,
+				})
+			}
+		}
+	}
+	// Settle peer routes by shortest path length.
+	settleByLen(peerCands, selected, settle)
+
+	// --- Phase 3: routes propagate down provider→customer edges.
+	// Dijkstra-like by path length; sources are all settled ASes plus
+	// provider-class injections.
+	down := make(map[topology.ASN][]Route)
+	for _, inj := range injections {
+		if inj.Class != ClassProvider {
+			continue
+		}
+		if _, done := selected[inj.Neighbor]; done {
+			continue
+		}
+		down[inj.Neighbor] = append(down[inj.Neighbor], Route{
+			Ingress: inj.Ingress, PathLen: 1 + inj.Prepend, Class: ClassProvider, Via: inj.Neighbor,
+		})
+	}
+	// Frontier: settled ASes exporting to their customers.
+	frontier := sortedKeys(selected)
+	for _, as := range frontier {
+		r := selected[as]
+		for _, c := range g.AS(as).Customers {
+			if _, done := selected[c]; !done {
+				down[c] = append(down[c], Route{
+					Ingress: r.Ingress, PathLen: r.PathLen + 1, Class: ClassProvider, Via: as,
+				})
+			}
+		}
+	}
+	// Iteratively settle the shortest unsettled candidates and export
+	// further down.
+	for len(down) > 0 {
+		// Find minimum pending path length.
+		minLen := -1
+		for _, cands := range down {
+			for _, c := range cands {
+				if minLen == -1 || c.PathLen < minLen {
+					minLen = c.PathLen
+				}
+			}
+		}
+		next := make(map[topology.ASN][]Route)
+		for _, as := range sortedKeys(down) {
+			cands := down[as]
+			if _, done := selected[as]; done {
+				continue
+			}
+			var atMin []Route
+			var later []Route
+			for _, c := range cands {
+				if c.PathLen == minLen {
+					atMin = append(atMin, c)
+				} else {
+					later = append(later, c)
+				}
+			}
+			if len(atMin) == 0 {
+				next[as] = later
+				continue
+			}
+			r := settle(as, atMin)
+			for _, cu := range g.AS(as).Customers {
+				if _, done := selected[cu]; !done {
+					next[cu] = append(next[cu], Route{
+						Ingress: r.Ingress, PathLen: r.PathLen + 1, Class: ClassProvider, Via: as,
+					})
+				}
+			}
+		}
+		down = next
+	}
+
+	return selected, nil
+}
+
+// settleByLen settles candidates class-tied routes by increasing path
+// length (peer phase helper). No further export happens here.
+func settleByLen(cands map[topology.ASN][]Route, selected map[topology.ASN]Route, settle func(topology.ASN, []Route) Route) {
+	for _, as := range sortedKeys(cands) {
+		if _, done := selected[as]; done {
+			continue
+		}
+		cs := cands[as]
+		minLen := cs[0].PathLen
+		for _, c := range cs[1:] {
+			if c.PathLen < minLen {
+				minLen = c.PathLen
+			}
+		}
+		var atMin []Route
+		for _, c := range cs {
+			if c.PathLen == minLen {
+				atMin = append(atMin, c)
+			}
+		}
+		settle(as, atMin)
+	}
+}
+
+func sortedKeys[V any](m map[topology.ASN]V) []topology.ASN {
+	out := make([]topology.ASN, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReachableIngresses computes, for one AS, the set of ingresses it could
+// possibly use across ALL policy-compliant paths (not just the selected
+// one): for each injection, the AS can reach that ingress if a valley-
+// free path exists from the AS to the injection neighbor. This is the
+// "all policy-compliant ingresses" set of §3.1 and §5.2.4, used both for
+// modeling (Eq. 2's expectation) and for path-diversity counting.
+//
+// A valley-free path from source AS s to neighbor n (then into the cloud)
+// exists iff: n is reachable from s by an up*(peer?)down* walk. We compute
+// it per injection by checking: (a) s is in the customer cone of n
+// (pure down from n = pure up from s), or (b) s can go up to some AS x
+// that peers with an AS y that has n in its customer cone, or (c) s can
+// go up to an AS that has n in its customer cone.
+func ReachableIngresses(g *topology.Graph, src topology.ASN, injections []Injection) map[IngressID]bool {
+	out := make(map[IngressID]bool)
+	if !g.Has(src) {
+		return out
+	}
+	// upSet: src and every AS reachable from src following provider links.
+	upSet := make(map[topology.ASN]bool)
+	stack := []topology.ASN{src}
+	upSet[src] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.AS(n).Providers {
+			if !upSet[p] {
+				upSet[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	// peerSet: ASes adjacent via one peer hop from any AS in upSet.
+	peerSet := make(map[topology.ASN]bool)
+	for x := range upSet {
+		for _, p := range g.AS(x).Peers {
+			peerSet[p] = true
+		}
+	}
+
+	for _, inj := range injections {
+		if out[inj.Ingress] {
+			continue
+		}
+		n := inj.Neighbor
+		// The traffic direction is src -> n -> cloud. Valley-free from
+		// src: up through providers, optionally one peer hop, then down
+		// through customers to n... but n must then carry the traffic to
+		// the cloud, which it will (it learned the route per its class).
+		// However, export rules constrain which ASes ever HEAR the route:
+		//   - customer-class injections (n is cloud's transit provider)
+		//     propagate everywhere;
+		//   - peer/provider-class injections propagate only down n's
+		//     customer cone.
+		switch inj.Class {
+		case ClassCustomer:
+			// Route is exported up from n, across peers, and down: any AS
+			// with a valley-free walk to n can use it. That walk exists
+			// iff n in upSet (src goes straight up to n), n in peerSet
+			// (up then one peer hop), or n's cone intersects upSet/peerSet
+			// (up, maybe peer, then down into n).
+			if upSet[n] || peerSet[n] {
+				out[inj.Ingress] = true
+				continue
+			}
+			if coneIntersects(g, n, upSet, peerSet) {
+				out[inj.Ingress] = true
+			}
+		default:
+			// Peer- and provider-class routes are exported only to
+			// customers, so the route is heard exactly by n and n's
+			// customer cone. (Cone membership is transitive, so "src's
+			// provider chain enters the cone" is already equivalent to
+			// src being in the cone.)
+			if g.InCone(n, src) {
+				out[inj.Ingress] = true
+			}
+		}
+	}
+	return out
+}
+
+// coneIntersects reports whether some walk top x in upSet∪peerSet has n
+// in its customer cone, i.e., the valley-free walk can descend from x to
+// n. Equivalently: some transitive provider of n is in upSet∪peerSet, so
+// we BFS up from n through provider links and test set membership.
+func coneIntersects(g *topology.Graph, n topology.ASN, upSet, peerSet map[topology.ASN]bool) bool {
+	seen := map[topology.ASN]bool{n: true}
+	queue := []topology.ASN{n}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if upSet[cur] || peerSet[cur] {
+			return true
+		}
+		for _, p := range g.AS(cur).Providers {
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// PeerID identifies a BGP peer within a RIB.
+type PeerID uint32
+
+// RIBEntry is one route in a RIB: the path attributes a peer advertised
+// for a prefix.
+type RIBEntry struct {
+	Peer      PeerID
+	Prefix    netip.Prefix
+	ASPath    []uint16
+	NextHop   netip.Addr
+	LocalPref uint32
+	MED       uint32
+	Origin    uint8
+}
+
+// better implements the BGP decision process over RIB entries:
+// highest LOCAL_PREF, shortest AS_PATH, lowest ORIGIN, lowest MED,
+// lowest peer ID (stand-in for lowest router ID).
+func (e RIBEntry) better(o RIBEntry) bool {
+	if e.LocalPref != o.LocalPref {
+		return e.LocalPref > o.LocalPref
+	}
+	if len(e.ASPath) != len(o.ASPath) {
+		return len(e.ASPath) < len(o.ASPath)
+	}
+	if e.Origin != o.Origin {
+		return e.Origin < o.Origin
+	}
+	if e.MED != o.MED {
+		return e.MED < o.MED
+	}
+	return e.Peer < o.Peer
+}
+
+// RIB holds per-peer Adj-RIB-In tables and a Loc-RIB computed by the
+// decision process. It is safe for concurrent use.
+type RIB struct {
+	mu sync.RWMutex
+	// adjIn[peer][prefix] = entry
+	adjIn map[PeerID]map[netip.Prefix]RIBEntry
+	// locRIB[prefix] = best entry
+	locRIB map[netip.Prefix]RIBEntry
+	// onChange, if set, is invoked (outside no locks... under lock is
+	// fine for our uses) when a prefix's best route changes or vanishes.
+	onChange func(p netip.Prefix, best *RIBEntry)
+}
+
+// NewRIB creates an empty RIB. onChange may be nil.
+func NewRIB(onChange func(p netip.Prefix, best *RIBEntry)) *RIB {
+	return &RIB{
+		adjIn:    make(map[PeerID]map[netip.Prefix]RIBEntry),
+		locRIB:   make(map[netip.Prefix]RIBEntry),
+		onChange: onChange,
+	}
+}
+
+// Learn installs or replaces a route from a peer and re-runs the decision
+// process for the prefix.
+func (r *RIB) Learn(e RIBEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.adjIn[e.Peer]
+	if m == nil {
+		m = make(map[netip.Prefix]RIBEntry)
+		r.adjIn[e.Peer] = m
+	}
+	m[e.Prefix] = e
+	r.decide(e.Prefix)
+}
+
+// Withdraw removes a peer's route for a prefix.
+func (r *RIB) Withdraw(peer PeerID, p netip.Prefix) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.adjIn[peer]; m != nil {
+		if _, ok := m[p]; ok {
+			delete(m, p)
+			r.decide(p)
+		}
+	}
+}
+
+// DropPeer removes all routes from a peer (session loss).
+func (r *RIB) DropPeer(peer PeerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.adjIn[peer]
+	delete(r.adjIn, peer)
+	for p := range m {
+		r.decide(p)
+	}
+}
+
+// decide recomputes the best route for p. Caller holds the lock.
+func (r *RIB) decide(p netip.Prefix) {
+	var best *RIBEntry
+	for _, m := range r.adjIn {
+		if e, ok := m[p]; ok {
+			if best == nil || e.better(*best) {
+				cp := e
+				best = &cp
+			}
+		}
+	}
+	old, had := r.locRIB[p]
+	switch {
+	case best == nil && had:
+		delete(r.locRIB, p)
+		if r.onChange != nil {
+			r.onChange(p, nil)
+		}
+	case best != nil && (!had || !entriesEqual(old, *best)):
+		r.locRIB[p] = *best
+		if r.onChange != nil {
+			r.onChange(p, best)
+		}
+	}
+}
+
+func entriesEqual(a, b RIBEntry) bool {
+	if a.Peer != b.Peer || a.Prefix != b.Prefix || a.NextHop != b.NextHop ||
+		a.LocalPref != b.LocalPref || a.MED != b.MED || a.Origin != b.Origin ||
+		len(a.ASPath) != len(b.ASPath) {
+		return false
+	}
+	for i := range a.ASPath {
+		if a.ASPath[i] != b.ASPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Best returns the Loc-RIB entry for a prefix.
+func (r *RIB) Best(p netip.Prefix) (RIBEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.locRIB[p]
+	return e, ok
+}
+
+// Prefixes returns all prefixes with a best route, sorted.
+func (r *RIB) Prefixes() []netip.Prefix {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]netip.Prefix, 0, len(r.locRIB))
+	for p := range r.locRIB {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr() != out[j].Addr() {
+			return out[i].Addr().Less(out[j].Addr())
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// Size returns the number of prefixes in the Loc-RIB.
+func (r *RIB) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.locRIB)
+}
+
+// String summarizes the RIB.
+func (r *RIB) String() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fmt.Sprintf("RIB{peers=%d, prefixes=%d}", len(r.adjIn), len(r.locRIB))
+}

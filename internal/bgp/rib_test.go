@@ -1,0 +1,146 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+func entry(peer PeerID, prefix string, lp uint32, path ...uint16) RIBEntry {
+	return RIBEntry{
+		Peer:      peer,
+		Prefix:    netip.MustParsePrefix(prefix),
+		ASPath:    path,
+		NextHop:   netip.MustParseAddr("192.0.2.1"),
+		LocalPref: lp,
+	}
+}
+
+func TestRIBDecisionLocalPref(t *testing.T) {
+	r := NewRIB(nil)
+	r.Learn(entry(1, "10.0.0.0/24", 100, 65001))
+	r.Learn(entry(2, "10.0.0.0/24", 200, 65001, 65002, 65003))
+	best, ok := r.Best(netip.MustParsePrefix("10.0.0.0/24"))
+	if !ok || best.Peer != 2 {
+		t.Errorf("best = %+v, want peer 2 (higher local pref despite longer path)", best)
+	}
+}
+
+func TestRIBDecisionPathLength(t *testing.T) {
+	r := NewRIB(nil)
+	r.Learn(entry(1, "10.0.0.0/24", 100, 65001, 65002))
+	r.Learn(entry(2, "10.0.0.0/24", 100, 65001))
+	best, _ := r.Best(netip.MustParsePrefix("10.0.0.0/24"))
+	if best.Peer != 2 {
+		t.Errorf("best = %+v, want peer 2 (shorter path)", best)
+	}
+}
+
+func TestRIBDecisionTiebreakPeerID(t *testing.T) {
+	r := NewRIB(nil)
+	r.Learn(entry(7, "10.0.0.0/24", 100, 65001))
+	r.Learn(entry(3, "10.0.0.0/24", 100, 65002))
+	best, _ := r.Best(netip.MustParsePrefix("10.0.0.0/24"))
+	if best.Peer != 3 {
+		t.Errorf("best = %+v, want peer 3 (lowest peer id)", best)
+	}
+}
+
+func TestRIBWithdraw(t *testing.T) {
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	r := NewRIB(nil)
+	r.Learn(entry(1, "10.0.0.0/24", 100, 65001))
+	r.Learn(entry(2, "10.0.0.0/24", 200, 65002))
+	r.Withdraw(2, p)
+	best, ok := r.Best(p)
+	if !ok || best.Peer != 1 {
+		t.Errorf("after withdraw best = %+v ok=%v, want peer 1", best, ok)
+	}
+	r.Withdraw(1, p)
+	if _, ok := r.Best(p); ok {
+		t.Error("prefix should vanish after all withdrawals")
+	}
+	// Withdrawing an absent route is a no-op.
+	r.Withdraw(9, p)
+}
+
+func TestRIBDropPeer(t *testing.T) {
+	r := NewRIB(nil)
+	r.Learn(entry(1, "10.0.0.0/24", 100))
+	r.Learn(entry(1, "10.1.0.0/24", 100))
+	r.Learn(entry(2, "10.0.0.0/24", 50))
+	r.DropPeer(1)
+	if r.Size() != 1 {
+		t.Errorf("size = %d after DropPeer, want 1", r.Size())
+	}
+	best, ok := r.Best(netip.MustParsePrefix("10.0.0.0/24"))
+	if !ok || best.Peer != 2 {
+		t.Errorf("best = %+v, want peer 2", best)
+	}
+}
+
+func TestRIBOnChangeFires(t *testing.T) {
+	var events []string
+	r := NewRIB(func(p netip.Prefix, best *RIBEntry) {
+		if best == nil {
+			events = append(events, "del "+p.String())
+		} else {
+			events = append(events, "set "+p.String())
+		}
+	})
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	r.Learn(entry(1, "10.0.0.0/24", 100))       // set
+	r.Learn(entry(1, "10.0.0.0/24", 100))       // identical: no event
+	r.Learn(entry(2, "10.0.0.0/24", 200))       // set (better)
+	r.Learn(entry(3, "10.0.0.0/24", 50, 65000)) // worse: no event
+	r.Withdraw(2, p)                            // set (falls back)
+	r.DropPeer(1)                               // set (peer 3 remains)
+	r.Withdraw(3, p)                            // del
+	want := []string{"set 10.0.0.0/24", "set 10.0.0.0/24", "set 10.0.0.0/24", "set 10.0.0.0/24", "del 10.0.0.0/24"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, events[i], want[i])
+		}
+	}
+}
+
+func TestRIBPrefixesSorted(t *testing.T) {
+	r := NewRIB(nil)
+	r.Learn(entry(1, "10.2.0.0/24", 100))
+	r.Learn(entry(1, "10.1.0.0/24", 100))
+	r.Learn(entry(1, "10.1.0.0/16", 100))
+	ps := r.Prefixes()
+	if len(ps) != 3 {
+		t.Fatalf("got %d prefixes", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		a, b := ps[i-1], ps[i]
+		if b.Addr().Less(a.Addr()) {
+			t.Errorf("prefixes not sorted: %v before %v", a, b)
+		}
+	}
+}
+
+func TestRIBConcurrentAccess(t *testing.T) {
+	r := NewRIB(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := entry(PeerID(w), "10.0.0.0/24", uint32(i))
+				r.Learn(e)
+				r.Best(e.Prefix)
+				r.Size()
+				if i%10 == 0 {
+					r.Withdraw(PeerID(w), e.Prefix)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,167 @@
+package bgp
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeSpeakers returns two connected speakers that have completed the
+// handshake.
+func pipeSpeakers(t *testing.T) (*Speaker, *Speaker) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	a := NewSpeaker(c1, 65001, 1, 3*time.Second)
+	b := NewSpeaker(c2, 65002, 2, 3*time.Second)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var errA, errB error
+	go func() { defer wg.Done(); errA = a.Handshake() }()
+	go func() { defer wg.Done(); errB = b.Handshake() }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("handshake: %v / %v", errA, errB)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestSpeakerHandshake(t *testing.T) {
+	a, b := pipeSpeakers(t)
+	if a.PeerOpen.AS != 65002 || b.PeerOpen.AS != 65001 {
+		t.Errorf("peer AS wrong: %d / %d", a.PeerOpen.AS, b.PeerOpen.AS)
+	}
+	if a.PeerOpen.BGPID != 2 || b.PeerOpen.BGPID != 1 {
+		t.Errorf("peer BGPID wrong")
+	}
+}
+
+func TestSpeakerUpdateDelivery(t *testing.T) {
+	a, b := pipeSpeakers(t)
+	got := make(chan Update, 1)
+	b.OnUpdate = func(u Update) { got <- u }
+	go func() { _ = b.Run() }()
+	go func() { _ = a.Run() }()
+
+	u := Update{
+		Origin:  OriginIGP,
+		ASPath:  []uint16{65001},
+		NextHop: netip.MustParseAddr("192.0.2.9"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")},
+	}
+	if err := a.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-got:
+		if len(g.NLRI) != 1 || g.NLRI[0] != u.NLRI[0] {
+			t.Errorf("received %+v", g)
+		}
+		if g.NextHop != u.NextHop {
+			t.Errorf("next hop = %v, want %v", g.NextHop, u.NextHop)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update not delivered")
+	}
+}
+
+func TestSpeakerWithdrawDelivery(t *testing.T) {
+	a, b := pipeSpeakers(t)
+	got := make(chan Update, 1)
+	b.OnUpdate = func(u Update) { got <- u }
+	go func() { _ = b.Run() }()
+	go func() { _ = a.Run() }()
+
+	u := Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix("203.0.113.0/24")}}
+	if err := a.SendUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-got:
+		if len(g.Withdrawn) != 1 || g.Withdrawn[0] != u.Withdrawn[0] {
+			t.Errorf("received %+v", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("withdraw not delivered")
+	}
+}
+
+func TestSpeakerOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	serverUpdates := make(chan Update, 4)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s := NewSpeaker(conn, 64512, 100, 2*time.Second)
+		if err := s.Handshake(); err != nil {
+			return
+		}
+		s.OnUpdate = func(u Update) { serverUpdates <- u }
+		_ = s.Run()
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSpeaker(conn, 64513, 200, 2*time.Second)
+	if err := c.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = c.Run() }()
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		u := Update{
+			Origin:  OriginIGP,
+			ASPath:  []uint16{64513},
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+			NLRI:    []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)},
+		}
+		if err := c.SendUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-serverUpdates:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("update %d not received", i)
+		}
+	}
+}
+
+func TestSpeakerCloseSendsNotification(t *testing.T) {
+	a, b := pipeSpeakers(t)
+	runDone := make(chan error, 1)
+	go func() { runDone <- b.Run() }()
+	go func() { _ = a.Run() }()
+	time.Sleep(50 * time.Millisecond)
+	_ = a.Close()
+	select {
+	case err := <-runDone:
+		// A clean close surfaces either as a NOTIFICATION error or EOF
+		// (nil) depending on scheduling; both are acceptable terminations.
+		_ = err
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer Run did not terminate after Close")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, _ := pipeSpeakers(t)
+	_ = a.Close()
+	err := a.SendUpdate(Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/24")}})
+	if err == nil {
+		t.Error("SendUpdate after Close should fail")
+	}
+}

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+
+	"painter/internal/cloud"
+	"painter/internal/core"
+	"painter/internal/netsim"
+	"painter/internal/topology"
+	"painter/internal/usergroup"
+)
+
+// Example runs the Advertisement Orchestrator end to end on a small
+// simulated world: generate an Internet, place a deployment, solve for
+// a 4-prefix configuration with one learning iteration, and evaluate it
+// against ground truth.
+func Example() {
+	graph, err := topology.Generate(topology.GenConfig{
+		Seed: 42, Tier1: 4, Tier2: 20, Stubs: 120,
+		MeanStubProviders: 2.3, Tier2PeerProb: 0.3,
+		EnterpriseFrac: 0.4, ContentFrac: 0.05,
+	})
+	if err != nil {
+		panic(err)
+	}
+	deploy, err := cloud.Build(graph, 64500, cloud.Profile{
+		Name: "example", PoPMetros: 8, PeerFrac: 0.7, TransitProviders: 2, Seed: 43,
+	})
+	if err != nil {
+		panic(err)
+	}
+	world, err := netsim.New(graph, deploy, 44)
+	if err != nil {
+		panic(err)
+	}
+	ugs, err := usergroup.Build(graph, usergroup.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	inputs, covered, err := core.SimInputs(world, ugs, nil)
+	if err != nil {
+		panic(err)
+	}
+
+	params := core.DefaultParams(4) // 4 prefixes, D_reuse 3000 km
+	params.MaxIterations = 1
+	orch, err := core.New(inputs, core.NewWorldExecutor(world, covered, 0, 45), params)
+	if err != nil {
+		panic(err)
+	}
+	cfg, err := orch.Solve()
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.Evaluate(world, covered, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("prefixes=%d benefit-positive=%v improved-ugs>0=%v\n",
+		cfg.NumPrefixes(), res.Benefit > 0, res.ImprovedUGs > 0)
+	// Output: prefixes=4 benefit-positive=true improved-ugs>0=true
+}

@@ -1,0 +1,240 @@
+// Package core implements PAINTER's Advertisement Orchestrator (§3.1):
+// the benefit model (Eq. 1), the modeled-improvement expectation with
+// preference learning and reuse-distance exclusions (Eq. 2), and the
+// greedy prefix-to-peering allocation with an outer learning loop
+// (Algorithm 1).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"painter/internal/advertise"
+	"painter/internal/bgp"
+	"painter/internal/cloud"
+	"painter/internal/geo"
+	"painter/internal/usergroup"
+)
+
+// Inputs is everything the orchestrator can legitimately observe before
+// conducting any advertisement: the deployment, the user groups with
+// traffic weights, policy-compliant ingress sets derived from BGP feeds
+// and customer cones, per-ingress latency estimates from the measurement
+// system, and measured anycast latencies (the default configuration D).
+type Inputs struct {
+	Deploy *cloud.Deployment
+	UGs    *usergroup.Set
+
+	// Compliant returns the policy-compliant ingress set for a UG.
+	Compliant func(ug usergroup.UG) (map[bgp.IngressID]bool, error)
+	// EstLatencyMs returns the estimated latency from a UG through an
+	// ingress; ok=false when the measurement system has no target for
+	// the pair (coverage limits, Appendix B).
+	EstLatencyMs func(ug usergroup.UG, ing bgp.IngressID) (float64, bool)
+	// AnycastMs returns the measured anycast latency for a UG.
+	AnycastMs func(ug usergroup.UG) (float64, error)
+}
+
+// Observation is what executing an advertisement reveals: which ingress
+// a UG actually selected for a prefix, and the measured latency.
+type Observation struct {
+	UG        usergroup.ID
+	Prefix    int
+	Ingress   bgp.IngressID
+	LatencyMs float64
+}
+
+// Executor conducts advertisements in the world (BGP announcements on
+// the real Internet for the prototype; route propagation in netsim for
+// the simulation) and reports per-UG observations.
+type Executor interface {
+	Execute(cfg Config) ([]Observation, error)
+}
+
+// Config is the advertisement configuration type shared with the
+// baseline strategies.
+type Config = advertise.Config
+
+// ugState is the orchestrator's working state for one UG.
+type ugState struct {
+	ug        usergroup.UG
+	compliant map[bgp.IngressID]bool
+	// est holds per-ingress latency estimates; entries are replaced by
+	// measured values as advertisements reveal truth.
+	est map[bgp.IngressID]float64
+	// popDist caches distance (km) from the UG to each compliant
+	// ingress's PoP for the D_reuse exclusion.
+	popDist map[bgp.IngressID]float64
+	anycast float64
+	// beats[i][j] records the learned fact "this UG routes to i over j
+	// when both are available" (§3.1 preference learning).
+	beats map[bgp.IngressID]map[bgp.IngressID]bool
+}
+
+// newUGStates materializes orchestrator state from Inputs.
+func newUGStates(in Inputs) ([]*ugState, error) {
+	if in.Deploy == nil || in.UGs == nil || in.Compliant == nil || in.EstLatencyMs == nil || in.AnycastMs == nil {
+		return nil, fmt.Errorf("core: incomplete Inputs")
+	}
+	states := make([]*ugState, 0, in.UGs.Len())
+	for _, ug := range in.UGs.UGs {
+		comp, err := in.Compliant(ug)
+		if err != nil {
+			return nil, fmt.Errorf("core: compliant(%d): %w", ug.ID, err)
+		}
+		any, err := in.AnycastMs(ug)
+		if err != nil {
+			return nil, fmt.Errorf("core: anycast(%d): %w", ug.ID, err)
+		}
+		st := &ugState{
+			ug:        ug,
+			compliant: comp,
+			est:       make(map[bgp.IngressID]float64, len(comp)),
+			popDist:   make(map[bgp.IngressID]float64, len(comp)),
+			anycast:   any,
+			beats:     make(map[bgp.IngressID]map[bgp.IngressID]bool),
+		}
+		for ing := range comp {
+			if ms, ok := in.EstLatencyMs(ug, ing); ok {
+				st.est[ing] = ms
+			}
+			pop, err := in.Deploy.PoPOfPeering(ing)
+			if err != nil {
+				return nil, err
+			}
+			st.popDist[ing] = geo.DistanceKm(ug.Coord, pop.Coord)
+		}
+		states = append(states, st)
+	}
+	return states, nil
+}
+
+// Expectation is the modeled latency of a UG to one prefix: the Eq. (2)
+// expectation over the active (non-excluded) policy-compliant ingresses,
+// with uncertainty bounds.
+type Expectation struct {
+	Mean, Min, Max float64
+	// N is the number of active ingresses with estimates.
+	N int
+}
+
+// Usable reports whether the prefix is usable by the UG at all.
+func (e Expectation) Usable() bool { return e.N > 0 }
+
+// expect computes Eq. (2)'s inner expectation for one UG and one prefix
+// peering set. Filtering order follows §3.1:
+//
+//  1. keep policy-compliant ingresses among the advertised peerings;
+//  2. drop ingresses dominated by a learned preference ("the UG routed
+//     to i when j was available, so exclude j whenever i is present");
+//  3. drop ingresses whose PoP is more than reuseKm farther than the
+//     nearest compliant advertising PoP (the D_reuse rule);
+//  4. average the latency estimates of what remains (ingresses without
+//     measurement coverage contribute no estimate).
+//
+// Min/Max bound the expectation over step-2's survivors only: learned
+// preferences are observations (certain), but the D_reuse exclusion is
+// an assumption that may be wrong — the UG might really route to the
+// far PoP — so excluded-by-distance ingresses still widen the
+// uncertainty band (the paper's Fig. 6c/15b uncertainty, which shrinks
+// as learning replaces assumptions with facts).
+func (st *ugState) expect(peerings []bgp.IngressID, reuseKm float64) Expectation {
+	var cand []bgp.IngressID
+	minDist := math.Inf(1)
+	for _, ing := range peerings {
+		if !st.compliant[ing] {
+			continue
+		}
+		cand = append(cand, ing)
+		if d := st.popDist[ing]; d < minDist {
+			minDist = d
+		}
+	}
+	if len(cand) == 0 {
+		return Expectation{}
+	}
+	// Preference dominance: drop j if some other candidate i beats j.
+	kept := cand[:0]
+	for _, j := range cand {
+		dominated := false
+		for _, i := range cand {
+			if i != j && st.beats[i] != nil && st.beats[i][j] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, j)
+		}
+	}
+	// Range over all non-dominated candidates; mean over those also
+	// passing the D_reuse assumption.
+	var sum float64
+	n := 0
+	e := Expectation{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, ing := range kept {
+		ms, ok := st.est[ing]
+		if !ok {
+			continue
+		}
+		if ms < e.Min {
+			e.Min = ms
+		}
+		if ms > e.Max {
+			e.Max = ms
+		}
+		if st.popDist[ing] <= minDist+reuseKm {
+			sum += ms
+			n++
+		}
+	}
+	e.N = n
+	if n == 0 {
+		return Expectation{}
+	}
+	e.Mean = sum / float64(n)
+	return e
+}
+
+// learn ingests one observation for a prefix peering set: the UG chose
+// `chosen` although the rest of candidates were available, so `chosen`
+// beats each of them. Contradicted old facts (routing changed) are
+// removed. It also replaces the latency estimate with ground truth.
+// Returns the number of new facts.
+func (st *ugState) learn(peerings []bgp.IngressID, chosen bgp.IngressID, measuredMs float64) int {
+	if !st.compliant[chosen] {
+		// Observation disagrees with the compliance model; record the
+		// ingress as compliant going forward (the model was wrong).
+		st.compliant[chosen] = true
+	}
+	st.est[chosen] = measuredMs
+	if st.beats[chosen] == nil {
+		st.beats[chosen] = make(map[bgp.IngressID]bool)
+	}
+	facts := 0
+	for _, other := range peerings {
+		if other == chosen || !st.compliant[other] {
+			continue
+		}
+		if !st.beats[chosen][other] {
+			st.beats[chosen][other] = true
+			facts++
+		}
+		// Remove the contradicting fact if present.
+		if st.beats[other] != nil && st.beats[other][chosen] {
+			delete(st.beats[other], chosen)
+		}
+	}
+	return facts
+}
+
+// sortedCompliant returns the UG's compliant ingresses in ID order.
+func (st *ugState) sortedCompliant() []bgp.IngressID {
+	out := make([]bgp.IngressID, 0, len(st.compliant))
+	for ing := range st.compliant {
+		out = append(out, ing)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"painter/internal/bgp"
+	"painter/internal/usergroup"
+)
+
+// Params are Algorithm 1's hyperparameters plus loop controls.
+type Params struct {
+	// PrefixBudget is PB: how many prefixes may be advertised (beyond
+	// the implicit anycast prefix).
+	PrefixBudget int
+	// ReuseKm is D_reuse, the minimum reuse distance (km).
+	ReuseKm float64
+	// MaxIterations bounds the outer learning loop.
+	MaxIterations int
+	// MinIterBenefitGain terminates learning when an iteration improves
+	// realized weighted benefit by less than this fraction of the
+	// previous iteration's benefit (§3.1: "terminate learning when
+	// little marginal benefit increase").
+	MinIterBenefitGain float64
+	// ExactGreedy recomputes every candidate's marginal at every step
+	// instead of using lazy evaluation. Slower; used for the ablation
+	// bench validating the lazy optimization.
+	ExactGreedy bool
+	// MaxPeeringsPerPrefix caps reuse breadth per prefix (0 = no cap).
+	MaxPeeringsPerPrefix int
+}
+
+// DefaultParams mirrors the paper's defaults (D_reuse = 3,000 km).
+func DefaultParams(budget int) Params {
+	return Params{
+		PrefixBudget:       budget,
+		ReuseKm:            3000,
+		MaxIterations:      4,
+		MinIterBenefitGain: 0.01,
+	}
+}
+
+// IterationReport records one advertise→measure→learn round.
+type IterationReport struct {
+	Iteration int
+	Config    Config
+	// PredictedBenefit is Eq. (1) evaluated with Eq. (2) expectations
+	// before executing, with uncertainty bounds from per-prefix latency
+	// ranges.
+	PredictedBenefit, PredictedLower, PredictedUpper float64
+	// RealizedBenefit is Eq. (1) evaluated with the observed latencies.
+	RealizedBenefit float64
+	// FactsLearned counts new preference facts from this round.
+	FactsLearned int
+	// PrefixesUsed / AdvertisementsUsed measure footprint.
+	PrefixesUsed, AdvertisementsUsed int
+}
+
+// Orchestrator is the Advertisement Orchestrator.
+type Orchestrator struct {
+	in     Inputs
+	exec   Executor
+	params Params
+	states []*ugState
+	// byIngress is an inverted index: peering → indices of UGs for which
+	// that peering is policy-compliant (the sparsity that makes the
+	// computation fast, §4).
+	byIngress map[bgp.IngressID][]int
+
+	reports []IterationReport
+}
+
+// New builds an orchestrator.
+func New(in Inputs, exec Executor, p Params) (*Orchestrator, error) {
+	if p.PrefixBudget < 1 {
+		return nil, fmt.Errorf("core: prefix budget must be >= 1")
+	}
+	if p.ReuseKm < 0 {
+		return nil, fmt.Errorf("core: negative ReuseKm")
+	}
+	if p.MaxIterations < 1 {
+		p.MaxIterations = 1
+	}
+	states, err := newUGStates(in)
+	if err != nil {
+		return nil, err
+	}
+	o := &Orchestrator{in: in, exec: exec, params: p, states: states,
+		byIngress: make(map[bgp.IngressID][]int)}
+	for i, st := range states {
+		for ing := range st.compliant {
+			o.byIngress[ing] = append(o.byIngress[ing], i)
+		}
+	}
+	return o, nil
+}
+
+// Reports returns the per-iteration history after Solve.
+func (o *Orchestrator) Reports() []IterationReport { return o.reports }
+
+// Solve runs the full outer loop of Algorithm 1: compute a configuration
+// greedily, execute it, learn from observed ingresses, and repeat until
+// benefit stops improving or MaxIterations is reached. It returns the
+// configuration with the highest realized benefit across iterations
+// (greedy with a refined model is not guaranteed monotone, so the
+// operator keeps the best observed strategy).
+func (o *Orchestrator) Solve() (Config, error) {
+	var best Config
+	bestBenefit := math.Inf(-1)
+	prevBenefit := math.Inf(-1)
+	for iter := 0; iter < o.params.MaxIterations; iter++ {
+		cfg := o.ComputeConfig()
+		rep := IterationReport{
+			Iteration:          iter + 1,
+			Config:             cfg.Clone(),
+			PrefixesUsed:       cfg.NumPrefixes(),
+			AdvertisementsUsed: cfg.TotalAdvertisements(),
+		}
+		rep.PredictedBenefit, rep.PredictedLower, rep.PredictedUpper = o.PredictBenefit(cfg)
+
+		if o.exec == nil {
+			// Offline mode: no executor, single computation.
+			o.reports = append(o.reports, rep)
+			return cfg, nil
+		}
+		obs, err := o.exec.Execute(cfg)
+		if err != nil {
+			return Config{}, fmt.Errorf("core: execute iteration %d: %w", iter+1, err)
+		}
+		rep.RealizedBenefit = o.RealizedBenefit(obs)
+		rep.FactsLearned = o.Learn(cfg, obs)
+		o.reports = append(o.reports, rep)
+		if rep.RealizedBenefit > bestBenefit {
+			bestBenefit = rep.RealizedBenefit
+			best = cfg
+		}
+
+		if prevBenefit > 0 {
+			gain := (rep.RealizedBenefit - prevBenefit) / prevBenefit
+			if gain < o.params.MinIterBenefitGain && rep.FactsLearned == 0 {
+				break
+			}
+		}
+		if rep.RealizedBenefit > prevBenefit {
+			prevBenefit = rep.RealizedBenefit
+		}
+	}
+	return best, nil
+}
+
+// --- Greedy configuration computation (Algorithm 1 inner loops) -----------
+
+// candHeap is a max-heap of cached candidate marginals for lazy greedy.
+type candItem struct {
+	ing      bgp.IngressID
+	marginal float64
+	version  int
+}
+type candHeap []candItem
+
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return h[i].marginal > h[j].marginal }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(candItem)) }
+func (h *candHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// ComputeConfig runs one full pass of Algorithm 1's two inner loops with
+// the current routing model, returning the chosen configuration.
+func (o *Orchestrator) ComputeConfig() Config {
+	// Per-UG frozen best across anycast + completed prefixes.
+	bestFrozen := make([]float64, len(o.states))
+	for i, st := range o.states {
+		bestFrozen[i] = st.anycast
+	}
+
+	var cfg Config
+	allPeerings := o.in.Deploy.AllPeeringIDs()
+
+	for p := 0; p < o.params.PrefixBudget; p++ {
+		S := o.growPrefix(allPeerings, bestFrozen)
+		if len(S) == 0 {
+			break // no peering offers positive benefit: further prefixes won't either
+		}
+		cfg.Prefixes = append(cfg.Prefixes, S)
+		// Freeze this prefix's contribution into bestFrozen.
+		for i, st := range o.states {
+			if e := st.expect(S, o.params.ReuseKm); e.Usable() && e.Mean < bestFrozen[i] {
+				bestFrozen[i] = e.Mean
+			}
+		}
+	}
+	return cfg
+}
+
+// growPrefix implements the inner while-loop: advertise one prefix via
+// as many peerings as keep marginal benefit positive, in ranked order of
+// modeled improvement.
+func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []float64) []bgp.IngressID {
+	var S []bgp.IngressID
+	inS := make(map[bgp.IngressID]bool)
+	// curE[i] is Eq(2) for the growing prefix, +Inf when unusable.
+	curE := make([]float64, len(o.states))
+	for i := range curE {
+		curE[i] = math.Inf(1)
+	}
+
+	marginalOf := func(x bgp.IngressID) float64 {
+		var delta float64
+		for _, i := range o.byIngress[x] {
+			st := o.states[i]
+			oldVal := math.Min(bestFrozen[i], curE[i])
+			e := st.expect(append(S, x), o.params.ReuseKm)
+			newE := math.Inf(1)
+			if e.Usable() {
+				newE = e.Mean
+			}
+			newVal := math.Min(bestFrozen[i], newE)
+			delta += st.ug.Weight * (oldVal - newVal)
+		}
+		return delta
+	}
+
+	accept := func(x bgp.IngressID) {
+		S = append(S, x)
+		inS[x] = true
+		for _, i := range o.byIngress[x] {
+			st := o.states[i]
+			if e := st.expect(S, o.params.ReuseKm); e.Usable() {
+				curE[i] = e.Mean
+			} else {
+				curE[i] = math.Inf(1)
+			}
+		}
+	}
+
+	if o.params.ExactGreedy {
+		for {
+			if o.params.MaxPeeringsPerPrefix > 0 && len(S) >= o.params.MaxPeeringsPerPrefix {
+				break
+			}
+			bestX := bgp.InvalidIngress
+			bestM := 0.0
+			for _, x := range allPeerings {
+				if inS[x] {
+					continue
+				}
+				if m := marginalOf(x); m > bestM {
+					bestM, bestX = m, x
+				}
+			}
+			if bestX == bgp.InvalidIngress {
+				break
+			}
+			accept(bestX)
+		}
+		return S
+	}
+
+	// Lazy greedy: cache marginals, re-evaluate only the top candidate.
+	version := 0
+	h := make(candHeap, 0, len(allPeerings))
+	for _, x := range allPeerings {
+		h = append(h, candItem{ing: x, marginal: marginalOf(x), version: version})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		if o.params.MaxPeeringsPerPrefix > 0 && len(S) >= o.params.MaxPeeringsPerPrefix {
+			break
+		}
+		top := heap.Pop(&h).(candItem)
+		if inS[top.ing] {
+			continue
+		}
+		if top.version != version {
+			// Stale cached marginal: refresh and reinsert; the heap
+			// decides whether it is still the best candidate.
+			top.marginal = marginalOf(top.ing)
+			top.version = version
+			heap.Push(&h, top)
+			continue
+		}
+		if top.marginal <= 0 {
+			break
+		}
+		accept(top.ing)
+		version++
+	}
+	return S
+}
+
+// --- Prediction, learning, realized benefit --------------------------------
+
+// PredictBenefit evaluates Eq. (1) with Eq. (2) expectations for a
+// config, returning (estimated, lower, upper) weighted benefit in ms —
+// the uncertainty shading of Fig. 6c.
+//
+// The bounds reflect what fine-grained steering can do once routes are
+// actually tested: in the best case each UG ends up on the best active
+// ingress of ANY usable prefix (the Traffic Manager would pick that
+// prefix), so the upper bound takes min over prefixes of each prefix's
+// optimistic latency; in the worst case the UG lands on the worst
+// active ingress of its chosen (best-mean) prefix, floored at anycast.
+func (o *Orchestrator) PredictBenefit(cfg Config) (mean, lower, upper float64) {
+	for _, st := range o.states {
+		valMean, valMin, valMax := st.anycast, st.anycast, st.anycast
+		for _, S := range cfg.Prefixes {
+			e := st.expect(S, o.params.ReuseKm)
+			if !e.Usable() {
+				continue
+			}
+			if e.Min < valMin {
+				valMin = e.Min
+			}
+			if e.Mean < valMean {
+				valMean = e.Mean
+				valMax = math.Min(e.Max, st.anycast)
+			}
+		}
+		w := st.ug.Weight
+		mean += w * (st.anycast - valMean)
+		upper += w * (st.anycast - valMin)
+		lower += w * (st.anycast - valMax)
+	}
+	return mean, lower, upper
+}
+
+// Learn ingests observations from an executed configuration, updating
+// preference facts and replacing estimates with measured latencies.
+// It returns the number of new facts.
+func (o *Orchestrator) Learn(cfg Config, obs []Observation) int {
+	byID := make(map[int]*ugState, len(o.states))
+	idx := make(map[int]int, len(o.states))
+	for i, st := range o.states {
+		byID[int(st.ug.ID)] = st
+		idx[int(st.ug.ID)] = i
+	}
+	facts := 0
+	for _, ob := range obs {
+		st := byID[int(ob.UG)]
+		if st == nil || ob.Prefix < 0 || ob.Prefix >= len(cfg.Prefixes) {
+			continue
+		}
+		before := len(st.compliant)
+		facts += st.learn(cfg.Prefixes[ob.Prefix], ob.Ingress, ob.LatencyMs)
+		if len(st.compliant) != before {
+			// Compliance model corrected: refresh the inverted index.
+			o.byIngress[ob.Ingress] = append(o.byIngress[ob.Ingress], idx[int(ob.UG)])
+		}
+	}
+	return facts
+}
+
+// RealizedBenefit evaluates Eq. (1) using observed latencies: each UG's
+// achieved latency is the minimum over anycast and its observed prefix
+// latencies (the Traffic Manager steers per-flow to the best prefix).
+func (o *Orchestrator) RealizedBenefit(obs []Observation) float64 {
+	best := make(map[usergroup.ID]float64, len(o.states))
+	for _, st := range o.states {
+		best[st.ug.ID] = st.anycast
+	}
+	for _, ob := range obs {
+		if cur, ok := best[ob.UG]; ok && ob.LatencyMs < cur {
+			best[ob.UG] = ob.LatencyMs
+		}
+	}
+	var total float64
+	for _, st := range o.states {
+		total += st.ug.Weight * (st.anycast - best[st.ug.ID])
+	}
+	return total
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"painter/internal/advertise"
+	"painter/internal/bgp"
+	"painter/internal/cloud"
+	"painter/internal/netsim"
+	"painter/internal/topology"
+	"painter/internal/usergroup"
+)
+
+// testBench assembles a small but non-trivial world for orchestrator
+// tests: ~150 stubs, 12 PoPs, 2 transit providers.
+type testBench struct {
+	world *netsim.World
+	ugs   *usergroup.Set
+	in    Inputs
+	exec  *WorldExecutor
+}
+
+func newBench(t *testing.T, seed int64) *testBench {
+	t.Helper()
+	g, err := topology.Generate(topology.GenConfig{Seed: seed, Tier1: 4, Tier2: 24, Stubs: 150,
+		MeanStubProviders: 2.4, Tier2PeerProb: 0.35, EnterpriseFrac: 0.4, ContentFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cloud.Build(g, 64500, cloud.Profile{Name: "t", PoPMetros: 12, PeerFrac: 0.8, TransitProviders: 2, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := netsim.New(g, d, seed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ugs, err := usergroup.Build(g, usergroup.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, covered, err := SimInputs(w, ugs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testBench{
+		world: w,
+		ugs:   covered,
+		in:    in,
+		exec:  NewWorldExecutor(w, covered, 0, seed+3),
+	}
+}
+
+func TestOrchestratorSolveProducesValidConfig(t *testing.T) {
+	b := newBench(t, 41)
+	o, err := New(b.in, b.exec, DefaultParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumPrefixes() == 0 {
+		t.Fatal("orchestrator produced empty config")
+	}
+	if cfg.NumPrefixes() > 5 {
+		t.Fatalf("budget exceeded: %d prefixes", cfg.NumPrefixes())
+	}
+	if err := cfg.Validate(b.world.Deploy); err != nil {
+		t.Fatalf("invalid config: %v", err)
+	}
+	if len(o.Reports()) == 0 {
+		t.Fatal("no iteration reports")
+	}
+}
+
+func TestOrchestratorBeneficial(t *testing.T) {
+	b := newBench(t, 43)
+	o, err := New(b.in, b.exec, DefaultParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(b.world, b.ugs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit <= 0 {
+		t.Fatalf("PAINTER benefit = %v, want positive", res.Benefit)
+	}
+	if res.FractionOfPossible() < 0.3 {
+		t.Errorf("PAINTER captured only %.1f%% of possible benefit with 8 prefixes",
+			res.FractionOfPossible()*100)
+	}
+}
+
+func TestOrchestratorBeatsBaselinesAtEqualBudget(t *testing.T) {
+	b := newBench(t, 47)
+	const budget = 6
+	o, err := New(b.in, b.exec, DefaultParams(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	painter, err := Evaluate(b.world, b.ugs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, base := range map[string]advertise.Config{
+		"one-per-pop":     advertise.OnePerPoP(b.world.Deploy, budget),
+		"one-per-peering": advertise.OnePerPeering(b.world.Deploy, budget),
+		"one-per-pop-reuse": advertise.OnePerPoPWithReuse(
+			b.world.Deploy, budget, 3000),
+	} {
+		res, err := Evaluate(b.world, b.ugs, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if painter.Benefit < res.Benefit*0.95 {
+			t.Errorf("PAINTER (%.2f ms) should not lose to %s (%.2f ms) at budget %d",
+				painter.Benefit, name, res.Benefit, budget)
+		}
+	}
+}
+
+func TestLearningImprovesRealizedBenefit(t *testing.T) {
+	b := newBench(t, 53)
+	p := DefaultParams(6)
+	p.MaxIterations = 4
+	p.MinIterBenefitGain = -1 // never early-stop; we want all iterations
+	o, err := New(b.in, b.exec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	reps := o.Reports()
+	if len(reps) < 2 {
+		t.Fatalf("want >=2 learning iterations, got %d", len(reps))
+	}
+	first := reps[0]
+	bestLater := first.RealizedBenefit
+	for _, r := range reps[1:] {
+		if r.RealizedBenefit > bestLater {
+			bestLater = r.RealizedBenefit
+		}
+	}
+	if bestLater < first.RealizedBenefit-1e-9 {
+		t.Errorf("no later iteration matched iteration 1: first=%.3f best-later=%.3f",
+			first.RealizedBenefit, bestLater)
+	}
+	if first.FactsLearned == 0 {
+		t.Error("first iteration learned no preference facts (world has hidden preferences)")
+	}
+}
+
+func TestPredictionUncertaintyNarrowsWithLearning(t *testing.T) {
+	b := newBench(t, 59)
+	p := DefaultParams(6)
+	p.MaxIterations = 4
+	p.MinIterBenefitGain = -1
+	o, err := New(b.in, b.exec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	reps := o.Reports()
+	if len(reps) < 2 {
+		t.Skip("converged in one iteration")
+	}
+	first := reps[0].PredictedUpper - reps[0].PredictedLower
+	last := reps[len(reps)-1].PredictedUpper - reps[len(reps)-1].PredictedLower
+	slack := 0.1 * reps[0].PredictedBenefit
+	if slack < 0.5 {
+		slack = 0.5
+	}
+	if last > first+slack {
+		t.Errorf("uncertainty widened with learning: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestMoreBudgetNeverHurts(t *testing.T) {
+	b := newBench(t, 61)
+	var prev float64 = -1
+	for _, budget := range []int{1, 3, 8} {
+		o, err := New(b.in, b.exec, DefaultParams(budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := o.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Evaluate(b.world, b.ugs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tolerance: learning noise can cause small non-monotonicity.
+		if res.Benefit < prev*0.9 {
+			t.Errorf("benefit dropped sharply with more budget: %v -> %v at %d", prev, res.Benefit, budget)
+		}
+		if res.Benefit > prev {
+			prev = res.Benefit
+		}
+	}
+}
+
+func TestOfflineModeNoExecutor(t *testing.T) {
+	b := newBench(t, 67)
+	o, err := New(b.in, nil, DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumPrefixes() == 0 {
+		t.Error("offline solve produced empty config")
+	}
+	if len(o.Reports()) != 1 {
+		t.Errorf("offline mode should produce exactly one report, got %d", len(o.Reports()))
+	}
+	if o.Reports()[0].RealizedBenefit != 0 {
+		t.Error("offline mode cannot have realized benefit")
+	}
+}
+
+func TestExactAndLazyGreedyAgreeApproximately(t *testing.T) {
+	b := newBench(t, 71)
+	pLazy := DefaultParams(4)
+	pLazy.MaxIterations = 1
+	pExact := pLazy
+	pExact.ExactGreedy = true
+
+	oL, err := New(b.in, nil, pLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgL, err := oL.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oE, err := New(b.in, nil, pExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgE, err := oE.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rL, err := Evaluate(b.world, b.ugs, cfgL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rE, err := Evaluate(b.world, b.ugs, cfgE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rL.Benefit < 0.8*rE.Benefit {
+		t.Errorf("lazy greedy (%.3f) much worse than exact greedy (%.3f)", rL.Benefit, rE.Benefit)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	b := newBench(t, 73)
+	if _, err := New(b.in, nil, Params{PrefixBudget: 0}); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if _, err := New(b.in, nil, Params{PrefixBudget: 1, ReuseKm: -5}); err == nil {
+		t.Error("negative ReuseKm should fail")
+	}
+	if _, err := New(Inputs{}, nil, DefaultParams(1)); err == nil {
+		t.Error("incomplete inputs should fail")
+	}
+}
+
+func TestExpectationFiltering(t *testing.T) {
+	// Hand-built ugState exercising Eq. (2) filters directly.
+	st := &ugState{
+		compliant: map[bgp.IngressID]bool{1: true, 2: true, 3: true},
+		est:       map[bgp.IngressID]float64{1: 10, 2: 30, 3: 100},
+		popDist:   map[bgp.IngressID]float64{1: 100, 2: 500, 3: 9000},
+		anycast:   50,
+		beats:     map[bgp.IngressID]map[bgp.IngressID]bool{},
+	}
+	// All three advertised, reuse 3000km: ingress 3 (9000km vs min 100km)
+	// is excluded from the mean by D_reuse but still widens the
+	// uncertainty range (the exclusion is an assumption, not a fact).
+	e := st.expect([]bgp.IngressID{1, 2, 3}, 3000)
+	if !e.Usable() || math.Abs(e.Mean-20) > 1e-9 || e.N != 2 {
+		t.Errorf("expect = %+v, want mean 20 over 2", e)
+	}
+	if e.Min != 10 || e.Max != 100 {
+		t.Errorf("bounds = [%v,%v], want [10,100]", e.Min, e.Max)
+	}
+	// Learned preference: 2 beats 1 → 1 excluded everywhere (a fact),
+	// mean = 30, range tightens to [30,100].
+	st.beats[2] = map[bgp.IngressID]bool{1: true}
+	e = st.expect([]bgp.IngressID{1, 2, 3}, 3000)
+	if math.Abs(e.Mean-30) > 1e-9 || e.N != 1 {
+		t.Errorf("after preference: %+v, want mean 30 over 1", e)
+	}
+	if e.Min != 30 || e.Max != 100 {
+		t.Errorf("bounds after fact = [%v,%v], want [30,100]", e.Min, e.Max)
+	}
+	// Non-compliant-only advertisement: unusable.
+	e = st.expect([]bgp.IngressID{99}, 3000)
+	if e.Usable() {
+		t.Error("prefix with no compliant ingress must be unusable")
+	}
+	// Huge reuse distance admits everything (no preference): clear prefs.
+	st.beats = map[bgp.IngressID]map[bgp.IngressID]bool{}
+	e = st.expect([]bgp.IngressID{1, 2, 3}, 1e9)
+	if e.N != 3 || math.Abs(e.Mean-140.0/3) > 1e-9 {
+		t.Errorf("unfiltered expect = %+v", e)
+	}
+}
+
+func TestLearnUpdatesFactsAndEstimates(t *testing.T) {
+	st := &ugState{
+		compliant: map[bgp.IngressID]bool{1: true, 2: true, 3: true},
+		est:       map[bgp.IngressID]float64{1: 10, 2: 30, 3: 100},
+		popDist:   map[bgp.IngressID]float64{1: 1, 2: 1, 3: 1},
+		beats:     map[bgp.IngressID]map[bgp.IngressID]bool{},
+	}
+	n := st.learn([]bgp.IngressID{1, 2, 3}, 2, 25)
+	if n != 2 {
+		t.Errorf("learned %d facts, want 2 (2 beats 1, 2 beats 3)", n)
+	}
+	if st.est[2] != 25 {
+		t.Errorf("estimate not replaced by measurement: %v", st.est[2])
+	}
+	// Repeat observation: no new facts.
+	if n := st.learn([]bgp.IngressID{1, 2, 3}, 2, 25); n != 0 {
+		t.Errorf("repeat observation learned %d facts, want 0", n)
+	}
+	// Routing change: now 1 wins; the contradicting "2 beats 1" fact must
+	// be removed.
+	st.learn([]bgp.IngressID{1, 2}, 1, 9)
+	if st.beats[2][1] {
+		t.Error("contradicted fact '2 beats 1' not removed")
+	}
+	if !st.beats[1][2] {
+		t.Error("new fact '1 beats 2' not recorded")
+	}
+}
+
+func TestLearnCorrectsComplianceModel(t *testing.T) {
+	st := &ugState{
+		compliant: map[bgp.IngressID]bool{1: true},
+		est:       map[bgp.IngressID]float64{1: 10},
+		popDist:   map[bgp.IngressID]float64{1: 1},
+		beats:     map[bgp.IngressID]map[bgp.IngressID]bool{},
+	}
+	st.learn([]bgp.IngressID{1, 7}, 7, 42) // observed ingress we thought non-compliant
+	if !st.compliant[7] {
+		t.Error("observed ingress should be marked compliant")
+	}
+	if st.est[7] != 42 {
+		t.Error("measured latency not recorded for corrected ingress")
+	}
+}
+
+func TestEvaluateAnycastOnlyIsZero(t *testing.T) {
+	b := newBench(t, 79)
+	res, err := Evaluate(b.world, b.ugs, advertise.Anycast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit != 0 {
+		t.Errorf("anycast-only benefit = %v, want 0", res.Benefit)
+	}
+	if res.PossibleBenefit <= 0 {
+		t.Error("possible benefit should be positive (inflation exists)")
+	}
+}
+
+func TestEvaluateOnePerPeeringFullCaptures(t *testing.T) {
+	// Advertising a unique prefix via every peering exposes every
+	// policy-compliant ingress... but per-AS selection still picks ONE
+	// route per prefix; with one peering per prefix the UG reaches that
+	// exact ingress. So full one-per-peering must capture ~all possible
+	// benefit (modulo day-0 noise = none).
+	b := newBench(t, 83)
+	all := len(b.world.Deploy.AllPeeringIDs())
+	cfg := advertise.OnePerPeering(b.world.Deploy, all)
+	res, err := Evaluate(b.world, b.ugs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.FractionOfPossible(); f < 0.999 {
+		t.Errorf("full one-per-peering captures %.4f of possible, want ~1", f)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"painter/internal/advertise"
+	"painter/internal/bgp"
+	"painter/internal/netsim"
+	"painter/internal/stats"
+	"painter/internal/topology"
+	"painter/internal/usergroup"
+)
+
+// WorldExecutor conducts advertisements inside a netsim.World: it
+// propagates each prefix, resolves the ingress every UG's AS selects,
+// and reports measured latencies — the simulation stand-in for issuing
+// real BGP announcements and pinging clients (§5.1.1, PEERING mode).
+type WorldExecutor struct {
+	World *netsim.World
+	UGs   *usergroup.Set
+	// MeasureNoiseMs adds bounded measurement noise to reported
+	// latencies (min-of-7-pings residue). 0 = exact.
+	MeasureNoiseMs float64
+	rng            func() float64
+}
+
+// NewWorldExecutor creates an executor over a world and UG set.
+func NewWorldExecutor(w *netsim.World, ugs *usergroup.Set, noiseMs float64, seed int64) *WorldExecutor {
+	r := stats.NewRand(seed)
+	return &WorldExecutor{World: w, UGs: ugs, MeasureNoiseMs: noiseMs, rng: r.Float64}
+}
+
+// Execute implements Executor.
+func (e *WorldExecutor) Execute(cfg Config) ([]Observation, error) {
+	var obs []Observation
+	for pi, peerings := range cfg.Prefixes {
+		sel, err := e.World.ResolveIngress(peerings)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolve prefix %d: %w", pi, err)
+		}
+		for _, ug := range e.UGs.UGs {
+			r, ok := sel[ug.ASN]
+			if !ok {
+				continue
+			}
+			ms, err := e.World.LatencyMs(ug.ASN, ug.Metro, r.Ingress)
+			if err != nil {
+				return nil, err
+			}
+			if e.MeasureNoiseMs > 0 {
+				ms += e.rng() * e.MeasureNoiseMs
+			}
+			obs = append(obs, Observation{UG: ug.ID, Prefix: pi, Ingress: r.Ingress, LatencyMs: ms})
+		}
+	}
+	return obs, nil
+}
+
+// AnycastLatencies resolves the implicit anycast prefix (all peerings)
+// and returns each UG's anycast latency and selected ingress.
+func AnycastLatencies(w *netsim.World, ugs *usergroup.Set) (map[usergroup.ID]float64, map[usergroup.ID]bgp.IngressID, error) {
+	sel, err := w.ResolveIngress(w.Deploy.AllPeeringIDs())
+	if err != nil {
+		return nil, nil, err
+	}
+	lat := make(map[usergroup.ID]float64, ugs.Len())
+	ing := make(map[usergroup.ID]bgp.IngressID, ugs.Len())
+	for _, ug := range ugs.UGs {
+		r, ok := sel[ug.ASN]
+		if !ok {
+			continue
+		}
+		ms, err := w.LatencyMs(ug.ASN, ug.Metro, r.Ingress)
+		if err != nil {
+			return nil, nil, err
+		}
+		lat[ug.ID] = ms
+		ing[ug.ID] = r.Ingress
+	}
+	return lat, ing, nil
+}
+
+// SimInputs builds orchestrator Inputs backed directly by a world:
+// compliance from the world's BGP view, latency estimates from the given
+// estimator (or the world's base latencies when nil — prototype mode,
+// where the deployment pings clients directly), and measured anycast
+// latencies. UGs whose AS selects no anycast route are dropped (they
+// cannot be baselined).
+func SimInputs(w *netsim.World, ugs *usergroup.Set,
+	est func(ug usergroup.UG, ing bgp.IngressID) (float64, bool)) (Inputs, *usergroup.Set, error) {
+
+	anyLat, _, err := AnycastLatencies(w, ugs)
+	if err != nil {
+		return Inputs{}, nil, err
+	}
+	covered := ugs.Subset(func(u usergroup.UG) bool { _, ok := anyLat[u.ID]; return ok })
+	if covered.Len() == 0 {
+		return Inputs{}, nil, fmt.Errorf("core: no UG has an anycast route")
+	}
+	if est == nil {
+		est = func(ug usergroup.UG, ing bgp.IngressID) (float64, bool) {
+			ms, err := w.BaseLatencyMs(ug.ASN, ug.Metro, ing)
+			if err != nil {
+				return 0, false
+			}
+			return ms, true
+		}
+	}
+	in := Inputs{
+		Deploy: w.Deploy,
+		UGs:    covered,
+		Compliant: func(ug usergroup.UG) (map[bgp.IngressID]bool, error) {
+			return w.PolicyCompliant(ug.ASN)
+		},
+		EstLatencyMs: est,
+		AnycastMs: func(ug usergroup.UG) (float64, error) {
+			ms, ok := anyLat[ug.ID]
+			if !ok {
+				return 0, fmt.Errorf("core: UG %d has no anycast latency", ug.ID)
+			}
+			return ms, nil
+		},
+	}
+	return in, covered, nil
+}
+
+// EvalResult is the ground-truth evaluation of a configuration in a
+// world: realized benefit and per-UG detail.
+type EvalResult struct {
+	// Benefit is Eq. (1): Σ w(UG)·(anycast − achieved), ms.
+	Benefit float64
+	// PossibleBenefit is the One-per-Peering-complete bound: every UG at
+	// its best policy-compliant ingress.
+	PossibleBenefit float64
+	// PerUG maps UG → achieved improvement over anycast (ms, ≥ 0).
+	PerUG map[usergroup.ID]float64
+	// PerUGLatency maps UG → achieved latency (ms).
+	PerUGLatency map[usergroup.ID]float64
+	// ImprovedUGs counts UGs with positive improvement.
+	ImprovedUGs int
+}
+
+// FractionOfPossible returns Benefit/PossibleBenefit (0 when the bound
+// is zero).
+func (r EvalResult) FractionOfPossible() float64 {
+	if r.PossibleBenefit <= 0 {
+		return 0
+	}
+	return r.Benefit / r.PossibleBenefit
+}
+
+// Evaluate computes the true Eq. (1) benefit of a configuration in a
+// world: per UG, the Traffic Manager achieves the minimum latency over
+// the anycast route and every advertised prefix's selected ingress.
+func Evaluate(w *netsim.World, ugs *usergroup.Set, cfg advertise.Config) (EvalResult, error) {
+	anyLat, _, err := AnycastLatencies(w, ugs)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	res := EvalResult{
+		PerUG:        make(map[usergroup.ID]float64, ugs.Len()),
+		PerUGLatency: make(map[usergroup.ID]float64, ugs.Len()),
+	}
+	// Resolve each prefix once.
+	sels := make([]map[topology.ASN]bgp.Route, 0, len(cfg.Prefixes))
+	for _, peerings := range cfg.Prefixes {
+		sel, err := w.ResolveIngress(peerings)
+		if err != nil {
+			return EvalResult{}, err
+		}
+		sels = append(sels, sel)
+	}
+	for _, ug := range ugs.UGs {
+		base, ok := anyLat[ug.ID]
+		if !ok {
+			continue
+		}
+		best := base
+		for _, sel := range sels {
+			r, ok := sel[ug.ASN]
+			if !ok {
+				continue
+			}
+			ms, err := w.LatencyMs(ug.ASN, ug.Metro, r.Ingress)
+			if err != nil {
+				return EvalResult{}, err
+			}
+			if ms < best {
+				best = ms
+			}
+		}
+		imp := base - best
+		res.PerUG[ug.ID] = imp
+		res.PerUGLatency[ug.ID] = best
+		res.Benefit += ug.Weight * imp
+		if imp > 1e-9 {
+			res.ImprovedUGs++
+		}
+		if bl, _, err := w.BestIngressLatency(ug.ASN, ug.Metro); err == nil {
+			if possible := base - math.Min(bl, base); possible > 0 {
+				res.PossibleBenefit += ug.Weight * possible
+			}
+		}
+	}
+	return res, nil
+}

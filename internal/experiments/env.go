@@ -1,0 +1,200 @@
+// Package experiments contains one runner per table/figure in the
+// paper's evaluation (§5, appendices). Each runner builds on the shared
+// Env (topology + deployment + world + UGs + measurement system) and
+// returns a printable result whose rows/series mirror what the paper
+// reports. cmd/painter-bench and the top-level benchmarks drive these.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"painter/internal/cloud"
+	"painter/internal/core"
+	"painter/internal/measurement"
+	"painter/internal/netsim"
+	"painter/internal/topology"
+	"painter/internal/usergroup"
+)
+
+// Scale selects the experiment environment size.
+type Scale int
+
+// Scales.
+const (
+	// ScaleSmall is for unit tests: seconds, not minutes.
+	ScaleSmall Scale = iota
+	// ScalePEERING mirrors the PEERING/Vultr prototype (§4): 25 PoPs.
+	ScalePEERING
+	// ScaleAzure mirrors the simulated Azure evaluation: more PoPs,
+	// peerings, and UGs.
+	ScaleAzure
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleSmall:
+		return "small"
+	case ScalePEERING:
+		return "peering"
+	case ScaleAzure:
+		return "azure"
+	default:
+		return "scale?"
+	}
+}
+
+// Env is a fully constructed experiment environment.
+type Env struct {
+	Scale  Scale
+	Graph  *topology.Graph
+	Deploy *cloud.Deployment
+	World  *netsim.World
+	// UGs are the anycast-covered user groups (weights renormalized).
+	UGs *usergroup.Set
+	// AllUGs is the unfiltered set (needed by coverage metrics).
+	AllUGs *usergroup.Set
+	// Meas is the Appendix-B/C measurement system.
+	Meas *measurement.System
+	// Inputs are orchestrator inputs using direct (prototype-style)
+	// estimates; use EstimatedInputs for Azure-style estimated inputs.
+	Inputs core.Inputs
+	Seed   int64
+}
+
+// NewEnv constructs an environment at the given scale with a seed.
+func NewEnv(scale Scale, seed int64) (*Env, error) {
+	var gen topology.GenConfig
+	var prof cloud.Profile
+	switch scale {
+	case ScaleSmall:
+		gen = topology.GenConfig{Seed: seed, Tier1: 4, Tier2: 24, Stubs: 180,
+			MeanStubProviders: 2.4, Tier2PeerProb: 0.35, EnterpriseFrac: 0.4, ContentFrac: 0.05}
+		prof = cloud.Profile{Name: "small", PoPMetros: 10, PeerFrac: 0.7, TransitProviders: 2, Seed: seed + 1}
+	case ScalePEERING:
+		gen = topology.GenConfig{Seed: seed, Tier1: 8, Tier2: 70, Stubs: 900,
+			MeanStubProviders: 2.4, Tier2PeerProb: 0.35, EnterpriseFrac: 0.35, ContentFrac: 0.05}
+		prof = cloud.PEERINGProfile()
+		prof.Seed = seed + 1
+	case ScaleAzure:
+		gen = topology.GenConfig{Seed: seed, Tier1: 12, Tier2: 110, Stubs: 1500,
+			MeanStubProviders: 2.4, Tier2PeerProb: 0.35, EnterpriseFrac: 0.35, ContentFrac: 0.05}
+		prof = cloud.AzureProfile()
+		prof.Seed = seed + 1
+	default:
+		return nil, fmt.Errorf("experiments: unknown scale %d", scale)
+	}
+
+	g, err := topology.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	d, err := cloud.Build(g, 64500, prof)
+	if err != nil {
+		return nil, err
+	}
+	w, err := netsim.New(g, d, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	ugCfg := usergroup.DefaultConfig()
+	ugCfg.Seed = seed + 3
+	allUGs, err := usergroup.Build(g, ugCfg)
+	if err != nil {
+		return nil, err
+	}
+	in, covered, err := core.SimInputs(w, allUGs, nil)
+	if err != nil {
+		return nil, err
+	}
+	mCfg := measurement.DefaultConfig()
+	mCfg.Seed = seed + 4
+	meas, err := measurement.NewSystem(w, covered, mCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Scale: scale, Graph: g, Deploy: d, World: w,
+		UGs: covered, AllUGs: allUGs, Meas: meas, Inputs: in, Seed: seed,
+	}, nil
+}
+
+// EstimatedInputs returns orchestrator inputs whose latency estimates
+// come from the Appendix-B/C measurement system instead of direct
+// prototype pings — the "Azure measurements" mode of §5.1.1.
+func (e *Env) EstimatedInputs() (core.Inputs, error) {
+	in, _, err := core.SimInputs(e.World, e.AllUGs, e.Meas.Estimator())
+	return in, err
+}
+
+// Budgets returns the sweep of prefix budgets used across figures,
+// expressed as fractions of the ingress (peering) count, clamped to at
+// least 1 prefix and deduplicated.
+func (e *Env) Budgets(fracs []float64) []int {
+	n := len(e.Deploy.AllPeeringIDs())
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range fracs {
+		b := int(f * float64(n))
+		if b < 1 {
+			b = 1
+		}
+		if b > n {
+			b = n
+		}
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StandardBudgetFracs is the x-axis of Fig. 6a/6b/9b/14.
+var StandardBudgetFracs = []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0}
+
+// Table is a simple printable result: a header plus rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// F formats a float compactly.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"painter/internal/cloud"
+	"painter/internal/geo"
+	"painter/internal/stats"
+	"painter/internal/usergroup"
+)
+
+// Catchment describes where anycast traffic lands and how inflated the
+// landing is — the diagnostic view behind the paper's motivation (§1,
+// §2.2: anycast can inflate paths; "unpredictable mappings from clients
+// to PoPs").
+type Catchment struct {
+	// PoPShare is each PoP's share of anycast traffic volume.
+	PoPShare map[cloud.PoPID]float64
+	// InflationKm is, per UG, how much farther (km) the anycast landing
+	// PoP is than the UG's nearest policy-compliant PoP.
+	InflationKm *stats.CDF
+	// InflationMs is the latency headroom: anycast latency minus the
+	// best policy-compliant ingress latency.
+	InflationMs *stats.CDF
+	// InflatedFrac is the traffic-weighted share landing >ThresholdKm
+	// beyond the nearest compliant PoP.
+	InflatedFrac float64
+	// ThresholdKm is the inflation threshold used for InflatedFrac.
+	ThresholdKm float64
+	// UGs counted.
+	UGs int
+}
+
+// AnalyzeCatchment computes the anycast catchment of a world for a UG
+// population. thresholdKm <= 0 defaults to 1,000 km (the paper's "90% of
+// traffic reaches a PoP within 1,000 km of the closest possible").
+func AnalyzeCatchment(w *World, ugs *usergroup.Set, thresholdKm float64) (*Catchment, error) {
+	if thresholdKm <= 0 {
+		thresholdKm = 1000
+	}
+	sel, err := w.ResolveIngress(w.Deploy.AllPeeringIDs())
+	if err != nil {
+		return nil, err
+	}
+	c := &Catchment{
+		PoPShare:    make(map[cloud.PoPID]float64),
+		ThresholdKm: thresholdKm,
+	}
+	var kms, ms []float64
+	var totalW, inflatedW float64
+	for _, u := range ugs.UGs {
+		r, ok := sel[u.ASN]
+		if !ok {
+			continue
+		}
+		pop, err := w.Deploy.PoPOfPeering(r.Ingress)
+		if err != nil {
+			return nil, err
+		}
+		c.PoPShare[pop.ID] += u.Weight
+		totalW += u.Weight
+
+		landKm := geo.DistanceKm(u.Coord, pop.Coord)
+		// Nearest policy-compliant PoP.
+		compliant, err := w.PolicyCompliant(u.ASN)
+		if err != nil {
+			return nil, err
+		}
+		nearest := landKm
+		for ing := range compliant {
+			p, err := w.Deploy.PoPOfPeering(ing)
+			if err != nil {
+				return nil, err
+			}
+			if d := geo.DistanceKm(u.Coord, p.Coord); d < nearest {
+				nearest = d
+			}
+		}
+		extraKm := landKm - nearest
+		kms = append(kms, extraKm)
+		if extraKm > thresholdKm {
+			inflatedW += u.Weight
+		}
+
+		anyMs, err := w.BaseLatencyMs(u.ASN, u.Metro, r.Ingress)
+		if err != nil {
+			return nil, err
+		}
+		if bestMs, _, err := w.BestIngressLatency(u.ASN, u.Metro); err == nil {
+			if extra := anyMs - bestMs; extra > 0 {
+				ms = append(ms, extra)
+			} else {
+				ms = append(ms, 0)
+			}
+		}
+		c.UGs++
+	}
+	if c.UGs == 0 {
+		return nil, fmt.Errorf("netsim: no UG has an anycast route")
+	}
+	if totalW > 0 {
+		for id := range c.PoPShare {
+			c.PoPShare[id] /= totalW
+		}
+		c.InflatedFrac = inflatedW / totalW
+	}
+	c.InflationKm = stats.NewCDF(kms)
+	c.InflationMs = stats.NewCDF(ms)
+	return c, nil
+}
+
+// TopPoPs returns the n busiest PoPs by anycast share, descending.
+type PoPShareEntry struct {
+	PoP   cloud.PoPID
+	Share float64
+}
+
+// TopPoPs lists the busiest PoPs.
+func (c *Catchment) TopPoPs(n int) []PoPShareEntry {
+	out := make([]PoPShareEntry, 0, len(c.PoPShare))
+	for id, s := range c.PoPShare {
+		out = append(out, PoPShareEntry{id, s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].PoP < out[j].PoP
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package emul
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// udpEcho starts a UDP echo server, returning its address.
+func udpEcho(t *testing.T) string {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			_, _ = conn.WriteToUDP(buf[:n], from)
+		}
+	}()
+	return conn.LocalAddr().String()
+}
+
+func dial(t *testing.T, addr string) *net.UDPConn {
+	t.Helper()
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// rtt sends one datagram through the link and measures the echo time.
+func rtt(t *testing.T, c *net.UDPConn, timeout time.Duration) (time.Duration, bool) {
+	t.Helper()
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 64)
+	if _, err := c.Read(buf); err != nil {
+		return 0, false
+	}
+	return time.Since(start), true
+}
+
+func TestLinkImposesDelay(t *testing.T) {
+	echo := udpEcho(t)
+	link, err := NewLink(echo, 20*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	c := dial(t, link.Addr())
+
+	d, ok := rtt(t, c, time.Second)
+	if !ok {
+		t.Fatal("no echo through link")
+	}
+	// One-way 20ms each direction → RTT ≥ 40ms.
+	if d < 40*time.Millisecond {
+		t.Errorf("RTT %v below imposed 40ms", d)
+	}
+	if d > 200*time.Millisecond {
+		t.Errorf("RTT %v implausibly high", d)
+	}
+}
+
+func TestLinkSetDelayTakesEffect(t *testing.T) {
+	echo := udpEcho(t)
+	link, err := NewLink(echo, time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	c := dial(t, link.Addr())
+	fast, ok := rtt(t, c, time.Second)
+	if !ok {
+		t.Fatal("no echo")
+	}
+	link.SetDelay(30 * time.Millisecond)
+	slow, ok := rtt(t, c, time.Second)
+	if !ok {
+		t.Fatal("no echo after SetDelay")
+	}
+	if slow < fast+40*time.Millisecond {
+		t.Errorf("delay change not applied: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestLinkDownDropsAndRecovers(t *testing.T) {
+	echo := udpEcho(t)
+	link, err := NewLink(echo, time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	c := dial(t, link.Addr())
+	if _, ok := rtt(t, c, time.Second); !ok {
+		t.Fatal("link should pass traffic initially")
+	}
+	link.SetDown(true)
+	if _, ok := rtt(t, c, 100*time.Millisecond); ok {
+		t.Error("down link passed traffic")
+	}
+	link.SetDown(false)
+	if _, ok := rtt(t, c, time.Second); !ok {
+		t.Error("link did not recover")
+	}
+}
+
+func TestLinkLoss(t *testing.T) {
+	echo := udpEcho(t)
+	link, err := NewLink(echo, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	link.SetLossPct(50)
+	c := dial(t, link.Addr())
+	got := 0
+	const sends = 100
+	for i := 0; i < sends; i++ {
+		if _, ok := rtt(t, c, 50*time.Millisecond); ok {
+			got++
+		}
+	}
+	// 50% loss each way → ~25% delivery. Allow a broad band.
+	if got < 5 || got > 60 {
+		t.Errorf("delivered %d of %d at 50%% bidirectional loss, want ~25", got, sends)
+	}
+	// Clamping.
+	link.SetLossPct(-5)
+	if _, ok := rtt(t, c, time.Second); !ok {
+		t.Error("loss clamped to 0 should deliver")
+	}
+}
+
+func TestLinkMultipleClients(t *testing.T) {
+	echo := udpEcho(t)
+	link, err := NewLink(echo, time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	for i := 0; i < 4; i++ {
+		c := dial(t, link.Addr())
+		if _, ok := rtt(t, c, time.Second); !ok {
+			t.Fatalf("client %d got no echo", i)
+		}
+	}
+}
+
+func TestLinkCloseIdempotent(t *testing.T) {
+	echo := udpEcho(t)
+	link, err := NewLink(echo, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

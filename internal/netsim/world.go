@@ -1,0 +1,414 @@
+// Package netsim binds the topology, deployment, and geography into a
+// queryable "Internet in a box": it answers the questions the paper's
+// testbeds answered — which cloud ingress does a user group reach under
+// a given advertisement, with what latency, and how does that evolve
+// over days of routing drift and failures.
+//
+// Two properties matter for faithfulness to the paper:
+//
+//  1. Route selection has a component the orchestrator cannot predict:
+//     each AS holds hidden per-ingress preferences used to break ties
+//     (and, with small probability, to override distance intuition the
+//     way the paper's "New York prefers Amsterdam" example does). The
+//     Advertisement Orchestrator must learn these by advertising and
+//     observing, exactly as on the real Internet.
+//
+//  2. Latency is grounded in geography but includes path inflation:
+//     some (UG, ingress) pairs detour far beyond the great-circle
+//     distance, and transit providers inflate routes even over very
+//     large distances (§5.1.2 "Results").
+package netsim
+
+import (
+	"fmt"
+
+	"math"
+
+	"painter/internal/bgp"
+	"painter/internal/cloud"
+	"painter/internal/geo"
+	"painter/internal/topology"
+)
+
+// World is an immutable-topology, time-evolving network simulator.
+// Methods are safe for concurrent use except AdvanceTo/SetDay.
+type World struct {
+	Graph  *topology.Graph
+	Deploy *cloud.Deployment
+
+	seed uint64
+	day  int
+
+	// Tunables (set before first use; zero values replaced by defaults).
+	cfg Config
+
+	// popCoord caches the coordinate of each peering's PoP.
+	popCoord map[bgp.IngressID]geo.Coord
+	// peerASNOf caches each peering's neighbor AS.
+	peerASNOf map[bgp.IngressID]topology.ASN
+	// transit caches whether each peering is via a transit provider.
+	transit map[bgp.IngressID]bool
+
+	// ancestors[n] is n plus its transitive providers, for fast
+	// policy-compliance checks.
+	ancestors map[topology.ASN]map[topology.ASN]bool
+	// asHome is each AS's primary location (first metro), used for the
+	// hot-potato bias in route tie-breaking.
+	asHome map[topology.ASN]geo.Coord
+}
+
+// Config tunes the synthetic network behaviour.
+type Config struct {
+	// DetourProb is the base probability a (UG, ingress) pair suffers a
+	// persistent intra-AS detour.
+	DetourProb float64
+	// TransitDetourProb replaces DetourProb for transit-provider
+	// ingresses over long distances (the paper found transit routes
+	// inflate even over 10k+ km).
+	TransitDetourProb float64
+	// DetourMinMs/DetourMaxMs bound the detour penalty.
+	DetourMinMs, DetourMaxMs float64
+	// AccessMinMs/AccessMaxMs bound per-UG last-mile latency.
+	AccessMinMs, AccessMaxMs float64
+	// DailyFailProb is the per-day probability that a (UG, ingress) path
+	// is degraded that day.
+	DailyFailProb float64
+	// FailPenaltyMs is the degradation added on a failed day.
+	FailPenaltyMs float64
+	// DriftMs bounds the ± daily latency jitter.
+	DriftMs float64
+	// PrefOverrideProb is the probability that an AS holds a strong
+	// hidden preference that overrides path-length ordering for a
+	// specific ingress (the unpredictable routing the orchestrator must
+	// learn).
+	PrefOverrideProb float64
+}
+
+// DefaultConfig returns the tuning used across the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		DetourProb:        0.08,
+		TransitDetourProb: 0.16,
+		DetourMinMs:       15,
+		DetourMaxMs:       150,
+		AccessMinMs:       2,
+		AccessMaxMs:       14,
+		DailyFailProb:     0.015,
+		FailPenaltyMs:     120,
+		DriftMs:           2.5,
+		PrefOverrideProb:  0.10,
+	}
+}
+
+// New creates a World over a topology and deployment with the default
+// config.
+func New(g *topology.Graph, d *cloud.Deployment, seed int64) (*World, error) {
+	return NewWithConfig(g, d, seed, DefaultConfig())
+}
+
+// NewWithConfig creates a World with explicit tuning.
+func NewWithConfig(g *topology.Graph, d *cloud.Deployment, seed int64, cfg Config) (*World, error) {
+	if g == nil || d == nil {
+		return nil, fmt.Errorf("netsim: nil graph or deployment")
+	}
+	w := &World{
+		Graph:     g,
+		Deploy:    d,
+		seed:      uint64(seed),
+		cfg:       cfg,
+		popCoord:  make(map[bgp.IngressID]geo.Coord, len(d.Peerings)),
+		peerASNOf: make(map[bgp.IngressID]topology.ASN, len(d.Peerings)),
+		transit:   make(map[bgp.IngressID]bool, len(d.Peerings)),
+		ancestors: make(map[topology.ASN]map[topology.ASN]bool),
+	}
+	for _, pr := range d.Peerings {
+		pop := d.PoP(pr.PoP)
+		if pop == nil {
+			return nil, fmt.Errorf("netsim: peering %d has no PoP", pr.ID)
+		}
+		w.popCoord[pr.ID] = pop.Coord
+		w.peerASNOf[pr.ID] = pr.PeerASN
+		w.transit[pr.ID] = pr.IsTransit()
+		if !g.Has(pr.PeerASN) {
+			return nil, fmt.Errorf("netsim: peering %d neighbor %v not in topology", pr.ID, pr.PeerASN)
+		}
+	}
+	w.asHome = make(map[topology.ASN]geo.Coord, g.Len())
+	for _, n := range g.ASNs() {
+		a := g.AS(n)
+		if len(a.Metros) > 0 {
+			if m, err := geo.MetroByCode(a.Metros[0]); err == nil {
+				w.asHome[n] = m.Coord
+			}
+		}
+	}
+	return w, nil
+}
+
+// Day returns the current simulation day.
+func (w *World) Day() int { return w.day }
+
+// SetDay moves the world to an absolute day (used by the Fig. 7 drift
+// experiment). Not safe concurrently with queries.
+func (w *World) SetDay(d int) { w.day = d }
+
+// --- Deterministic hashing -------------------------------------------------
+
+// h64 hashes a tuple of ints with the world seed into a uint64 using a
+// splitmix64-style mixer: fully deterministic across runs and processes.
+func (w *World) h64(parts ...uint64) uint64 {
+	h := mix64(w.seed ^ 0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h = mix64(h ^ mix64(p+0x9e3779b97f4a7c15))
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit converts a hash into a float in [0,1).
+func unit(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// domain tags keep independent random draws independent.
+const (
+	domStretch = iota + 1
+	domAccess
+	domDetourP
+	domDetourMs
+	domPeerPenalty
+	domDrift
+	domFail
+	domPref
+	domPrefOverride
+)
+
+// --- Latency model ----------------------------------------------------------
+
+// LatencyMs returns the round-trip latency in milliseconds from a UG
+// (identified by its AS and metro) to the cloud through the given
+// ingress, on the world's current day. Latency is deterministic per
+// (world seed, UG, ingress, day).
+func (w *World) LatencyMs(asn topology.ASN, metro string, ing bgp.IngressID) (float64, error) {
+	base, err := w.BaseLatencyMs(asn, metro, ing)
+	if err != nil {
+		return 0, err
+	}
+	return base + w.dayAdjustMs(asn, metro, ing), nil
+}
+
+// BaseLatencyMs is the steady-state (day-independent) latency.
+func (w *World) BaseLatencyMs(asn topology.ASN, metro string, ing bgp.IngressID) (float64, error) {
+	pc, ok := w.popCoord[ing]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown ingress %d", ing)
+	}
+	m, err := geo.MetroByCode(metro)
+	if err != nil {
+		return 0, err
+	}
+	distKm := geo.DistanceKm(m.Coord, pc)
+	geoRTT := geo.KmToMinRTTMs(distKm)
+
+	ugKey := uint64(asn)<<16 ^ metroKey(metro)
+	ik := uint64(ing)
+
+	// Fiber stretch in [1.2, 1.9), per pair.
+	stretch := 1.2 + 0.7*unit(w.h64(domStretch, ugKey, ik))
+	// Last-mile access latency, per UG.
+	access := w.cfg.AccessMinMs + (w.cfg.AccessMaxMs-w.cfg.AccessMinMs)*unit(w.h64(domAccess, ugKey))
+	// Small per-peer handoff penalty.
+	peerPen := 3 * unit(w.h64(domPeerPenalty, uint64(w.peerASNOf[ing])))
+
+	lat := geoRTT*stretch + access + peerPen
+
+	// Persistent detour: more likely via transit providers over long
+	// distances.
+	p := w.cfg.DetourProb
+	if w.transit[ing] && distKm > 2000 {
+		p = w.cfg.TransitDetourProb
+	}
+	if unit(w.h64(domDetourP, ugKey, ik)) < p {
+		lat += w.cfg.DetourMinMs + (w.cfg.DetourMaxMs-w.cfg.DetourMinMs)*unit(w.h64(domDetourMs, ugKey, ik))
+	}
+	return lat, nil
+}
+
+// dayAdjustMs is the time-varying component: daily jitter plus possible
+// failure-day degradation.
+func (w *World) dayAdjustMs(asn topology.ASN, metro string, ing bgp.IngressID) float64 {
+	if w.day == 0 {
+		return 0
+	}
+	ugKey := uint64(asn)<<16 ^ metroKey(metro)
+	ik := uint64(ing)
+	dk := uint64(w.day)
+	adj := (2*unit(w.h64(domDrift, ugKey, ik, dk)) - 1) * w.cfg.DriftMs
+	if unit(w.h64(domFail, ugKey, ik, dk)) < w.cfg.DailyFailProb {
+		adj += w.cfg.FailPenaltyMs
+	}
+	return adj
+}
+
+// PathFailed reports whether the (UG, ingress) path is degraded on the
+// current day.
+func (w *World) PathFailed(asn topology.ASN, metro string, ing bgp.IngressID) bool {
+	if w.day == 0 {
+		return false
+	}
+	ugKey := uint64(asn)<<16 ^ metroKey(metro)
+	return unit(w.h64(domFail, ugKey, uint64(ing), uint64(w.day))) < w.cfg.DailyFailProb
+}
+
+func metroKey(metro string) uint64 {
+	var k uint64
+	for _, c := range metro {
+		k = k*131 + uint64(c)
+	}
+	return k
+}
+
+// --- Route selection ---------------------------------------------------------
+
+// TieBreaker returns the hidden-preference tie-breaker used by every AS
+// in this world. Preferences are stable per (AS, ingress) and unknown to
+// the orchestrator; a fraction of ASes additionally hold strong
+// overriding preferences for specific ingresses.
+func (w *World) TieBreaker() bgp.TieBreaker {
+	return func(as topology.ASN, cands []bgp.Route) int {
+		best := 0
+		bestScore := w.prefScore(as, cands[0].Ingress)
+		for i := 1; i < len(cands); i++ {
+			if s := w.prefScore(as, cands[i].Ingress); s < bestScore {
+				best, bestScore = i, s
+			}
+		}
+		return best
+	}
+}
+
+// prefScore is the hidden preference (lower is preferred). Real ASes
+// break ties hot-potato: they hand traffic off at the geographically
+// nearest interconnection (lowest IGP cost), so the score is dominated
+// by distance from the AS's home to the ingress PoP, perturbed by
+// per-(AS, ingress) noise. A fraction of pairs hold strong overrides
+// that defy geography entirely — the "New York prefers Amsterdam"
+// routing the orchestrator must learn (§5.1.2).
+func (w *World) prefScore(as topology.ASN, ing bgp.IngressID) float64 {
+	noise := unit(w.h64(domPref, uint64(as), uint64(ing)))
+	s := noise
+	if home, ok := w.asHome[as]; ok {
+		distNorm := geo.DistanceKm(home, w.popCoord[ing]) / 20000 // 0..~1
+		s = 0.75*distNorm + 0.25*noise
+	}
+	// A strong override pulls the score near zero, making this ingress
+	// dominate all ties for this AS regardless of geography.
+	if unit(w.h64(domPrefOverride, uint64(as), uint64(ing))) < w.cfg.PrefOverrideProb {
+		s *= 0.02
+	}
+	return s
+}
+
+// ResolveIngress propagates one prefix advertised via the given peerings
+// and returns the ingress each AS selects. ASes with no policy-compliant
+// route are absent from the map.
+func (w *World) ResolveIngress(peerings []bgp.IngressID) (map[topology.ASN]bgp.Route, error) {
+	inj, err := w.Deploy.Injections(peerings)
+	if err != nil {
+		return nil, err
+	}
+	return bgp.Propagate(w.Graph, inj, w.TieBreaker())
+}
+
+// --- Policy compliance --------------------------------------------------------
+
+// ancestorsOf returns n plus its transitive providers (cached).
+func (w *World) ancestorsOf(n topology.ASN) map[topology.ASN]bool {
+	if a, ok := w.ancestors[n]; ok {
+		return a
+	}
+	set := map[topology.ASN]bool{n: true}
+	stack := []topology.ASN{n}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range w.Graph.AS(cur).Providers {
+			if !set[p] {
+				set[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	w.ancestors[n] = set
+	return set
+}
+
+// PolicyCompliant returns the set of deployment peerings through which
+// the given AS has any policy-compliant (valley-free) path to the cloud.
+// It is equivalent to bgp.ReachableIngresses over all peerings but uses
+// cached ancestor sets for speed.
+func (w *World) PolicyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error) {
+	if !w.Graph.Has(asn) {
+		return nil, fmt.Errorf("netsim: unknown AS %v", asn)
+	}
+	up := w.ancestorsOf(asn)
+	// upPeer: up ∪ peers(up).
+	upPeer := make(map[topology.ASN]bool, len(up)*3)
+	for x := range up {
+		upPeer[x] = true
+		for _, p := range w.Graph.AS(x).Peers {
+			upPeer[p] = true
+		}
+	}
+	out := make(map[bgp.IngressID]bool)
+	for _, pr := range w.Deploy.Peerings {
+		if pr.ClassAtPeer == bgp.ClassCustomer {
+			// Transit: reachable iff some ancestor of the neighbor is in
+			// upPeer (valley-free walk: up, optional peer hop, down to
+			// the neighbor).
+			for a := range w.ancestorsOf(pr.PeerASN) {
+				if upPeer[a] {
+					out[pr.ID] = true
+					break
+				}
+			}
+		} else {
+			// Settlement-free peer: the route only descends the
+			// neighbor's customer cone, so the AS must be in it.
+			if up[pr.PeerASN] {
+				out[pr.ID] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// BestIngressLatency returns the minimum base latency over the AS's
+// policy-compliant ingresses — the best any advertisement strategy could
+// ever deliver to this UG (the "One per Peering gives all the benefit"
+// upper bound of §5.1.2).
+func (w *World) BestIngressLatency(asn topology.ASN, metro string) (float64, bgp.IngressID, error) {
+	pc, err := w.PolicyCompliant(asn)
+	if err != nil {
+		return 0, bgp.InvalidIngress, err
+	}
+	best := math.Inf(1)
+	bestID := bgp.InvalidIngress
+	for ing := range pc {
+		l, err := w.BaseLatencyMs(asn, metro, ing)
+		if err != nil {
+			return 0, bgp.InvalidIngress, err
+		}
+		if l < best || (l == best && ing < bestID) {
+			best, bestID = l, ing
+		}
+	}
+	if bestID == bgp.InvalidIngress {
+		return 0, bestID, fmt.Errorf("netsim: AS %v has no policy-compliant ingress", asn)
+	}
+	return best, bestID, nil
+}

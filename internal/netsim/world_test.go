@@ -1,0 +1,381 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"painter/internal/bgp"
+	"painter/internal/cloud"
+	"painter/internal/topology"
+	"painter/internal/usergroup"
+)
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	g, err := topology.Generate(topology.GenConfig{Seed: 21, Tier1: 5, Tier2: 30, Stubs: 300,
+		MeanStubProviders: 2.4, Tier2PeerProb: 0.35, EnterpriseFrac: 0.35, ContentFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cloud.Build(g, 64500, cloud.Profile{Name: "test", PoPMetros: 15, PeerFrac: 0.8, TransitProviders: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(g, d, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// firstStubUG returns a stub AS and one of its metros.
+func firstStubUG(t *testing.T, w *World) (topology.ASN, string) {
+	t.Helper()
+	for _, n := range w.Graph.ASNs() {
+		a := w.Graph.AS(n)
+		if a.Tier == topology.TierStub && len(a.Metros) > 0 {
+			return n, a.Metros[0]
+		}
+	}
+	t.Fatal("no stub AS found")
+	return 0, ""
+}
+
+func TestLatencyDeterministic(t *testing.T) {
+	w := testWorld(t)
+	asn, metro := firstStubUG(t, w)
+	ing := w.Deploy.AllPeeringIDs()[0]
+	a, err := w.LatencyMs(asn, metro, ing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.LatencyMs(asn, metro, ing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("latency not deterministic: %v vs %v", a, b)
+	}
+	// And across World instances with the same seed.
+	w2, err := New(w.Graph, w.Deploy, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := w2.LatencyMs(asn, metro, ing)
+	if a != c {
+		t.Errorf("latency differs across same-seed worlds: %v vs %v", a, c)
+	}
+	// Different seed should (almost surely) differ.
+	w3, _ := New(w.Graph, w.Deploy, 78)
+	d, _ := w3.LatencyMs(asn, metro, ing)
+	if a == d {
+		t.Errorf("latency identical across different seeds (suspicious)")
+	}
+}
+
+func TestLatencyPositiveAndGroundedInGeography(t *testing.T) {
+	w := testWorld(t)
+	asn, metro := firstStubUG(t, w)
+	for _, ing := range w.Deploy.AllPeeringIDs() {
+		l, err := w.BaseLatencyMs(asn, metro, ing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l <= 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("latency %v for ingress %d", l, ing)
+		}
+		if l > 2000 {
+			t.Fatalf("latency %v absurdly high", l)
+		}
+	}
+}
+
+func TestLatencyErrors(t *testing.T) {
+	w := testWorld(t)
+	asn, metro := firstStubUG(t, w)
+	if _, err := w.BaseLatencyMs(asn, metro, 99999); err == nil {
+		t.Error("unknown ingress should fail")
+	}
+	if _, err := w.BaseLatencyMs(asn, "zzz", w.Deploy.AllPeeringIDs()[0]); err == nil {
+		t.Error("unknown metro should fail")
+	}
+}
+
+func TestDayDriftChangesLatency(t *testing.T) {
+	w := testWorld(t)
+	asn, metro := firstStubUG(t, w)
+	ing := w.Deploy.AllPeeringIDs()[0]
+	base, _ := w.LatencyMs(asn, metro, ing)
+	w.SetDay(5)
+	d5, _ := w.LatencyMs(asn, metro, ing)
+	w.SetDay(0)
+	back, _ := w.LatencyMs(asn, metro, ing)
+	if base != back {
+		t.Error("day 0 latency must be reproducible after SetDay round trip")
+	}
+	if base == d5 {
+		t.Error("latency should drift across days")
+	}
+	// Drift is bounded unless a failure occurred.
+	w.SetDay(5)
+	if !w.PathFailed(asn, metro, ing) {
+		if math.Abs(d5-base) > DefaultConfig().DriftMs+1e-9 {
+			t.Errorf("non-failure drift %v exceeds bound", d5-base)
+		}
+	}
+}
+
+func TestFailureRate(t *testing.T) {
+	w := testWorld(t)
+	asn, metro := firstStubUG(t, w)
+	ids := w.Deploy.AllPeeringIDs()
+	fails, total := 0, 0
+	for day := 1; day <= 40; day++ {
+		w.SetDay(day)
+		for _, ing := range ids {
+			total++
+			if w.PathFailed(asn, metro, ing) {
+				fails++
+			}
+		}
+	}
+	rate := float64(fails) / float64(total)
+	want := DefaultConfig().DailyFailProb
+	if rate < want/4 || rate > want*4 {
+		t.Errorf("failure rate %.4f far from configured %.4f", rate, want)
+	}
+}
+
+func TestPolicyCompliantMatchesBGP(t *testing.T) {
+	w := testWorld(t)
+	inj, err := w.Deploy.Injections(w.Deploy.AllPeeringIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, n := range w.Graph.ASNs() {
+		if w.Graph.AS(n).Tier != topology.TierStub {
+			continue
+		}
+		fast, err := w.PolicyCompliant(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := bgp.ReachableIngresses(w.Graph, n, inj)
+		if len(fast) != len(slow) {
+			t.Fatalf("AS %v: fast=%d slow=%d compliant ingresses", n, len(fast), len(slow))
+		}
+		for ing := range slow {
+			if !fast[ing] {
+				t.Fatalf("AS %v: fast set missing ingress %d", n, ing)
+			}
+		}
+		checked++
+		if checked >= 60 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no stubs checked")
+	}
+}
+
+func TestResolveIngressConsistentWithCompliance(t *testing.T) {
+	w := testWorld(t)
+	// Advertise over a subset of peerings.
+	all := w.Deploy.AllPeeringIDs()
+	subset := all[:len(all)/3]
+	sel, err := w.ResolveIngress(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 {
+		t.Fatal("no AS selected a route")
+	}
+	inSubset := make(map[bgp.IngressID]bool, len(subset))
+	for _, id := range subset {
+		inSubset[id] = true
+	}
+	for n, r := range sel {
+		if !inSubset[r.Ingress] {
+			t.Fatalf("AS %v selected ingress %d not in the advertised subset", n, r.Ingress)
+		}
+		pc, err := w.PolicyCompliant(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pc[r.Ingress] {
+			t.Fatalf("AS %v selected non-policy-compliant ingress %d", n, r.Ingress)
+		}
+	}
+}
+
+func TestResolveIngressDeterministic(t *testing.T) {
+	w := testWorld(t)
+	all := w.Deploy.AllPeeringIDs()
+	a, err := w.ResolveIngress(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.ResolveIngress(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ")
+	}
+	for n, ra := range a {
+		if b[n] != ra {
+			t.Fatalf("AS %v selection differs across runs", n)
+		}
+	}
+}
+
+func TestHiddenPreferencesVaryAcrossASes(t *testing.T) {
+	// Two ASes with the same tied candidates should not always pick the
+	// same ingress — hidden preferences are per-AS.
+	w := testWorld(t)
+	cands := []bgp.Route{
+		{Ingress: 1, PathLen: 2, Class: bgp.ClassProvider, Via: 1},
+		{Ingress: 2, PathLen: 2, Class: bgp.ClassProvider, Via: 2},
+		{Ingress: 3, PathLen: 2, Class: bgp.ClassProvider, Via: 3},
+	}
+	tb := w.TieBreaker()
+	picks := make(map[int]int)
+	for asn := topology.ASN(10000); asn < 10100; asn++ {
+		picks[tb(asn, cands)]++
+	}
+	if len(picks) < 2 {
+		t.Errorf("all 100 ASes picked the same tied candidate: %v", picks)
+	}
+}
+
+func TestBestIngressLatency(t *testing.T) {
+	w := testWorld(t)
+	asn, metro := firstStubUG(t, w)
+	best, ing, err := w.BestIngressLatency(asn, metro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing == bgp.InvalidIngress {
+		t.Fatal("no best ingress")
+	}
+	pc, _ := w.PolicyCompliant(asn)
+	if !pc[ing] {
+		t.Error("best ingress not policy compliant")
+	}
+	for i := range pc {
+		l, err := w.BaseLatencyMs(asn, metro, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < best {
+			t.Errorf("ingress %d latency %v below reported best %v", i, l, best)
+		}
+	}
+}
+
+func TestAnycastInflationExists(t *testing.T) {
+	// Under the full-anycast advertisement some UGs must land on
+	// ingresses notably worse than their best — the phenomenon PAINTER
+	// exists to fix. Check that at least 10% of stubs have >10ms headroom.
+	w := testWorld(t)
+	sel, err := w.ResolveIngress(w.Deploy.AllPeeringIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, inflated := 0, 0
+	for _, n := range w.Graph.ASNs() {
+		a := w.Graph.AS(n)
+		if a.Tier != topology.TierStub {
+			continue
+		}
+		r, ok := sel[n]
+		if !ok {
+			continue
+		}
+		metro := a.Metros[0]
+		anycast, err := w.BaseLatencyMs(n, metro, r.Ingress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, _, err := w.BestIngressLatency(n, metro)
+		if err != nil {
+			continue
+		}
+		total++
+		if anycast-best > 10 {
+			inflated++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no stubs resolved")
+	}
+	frac := float64(inflated) / float64(total)
+	if frac < 0.10 {
+		t.Errorf("only %.1f%% of UGs see >10ms anycast inflation; world too benign for the experiments", frac*100)
+	}
+	if frac > 0.95 {
+		t.Errorf("%.1f%% inflated; anycast should be good for most users (§3)", frac*100)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	w := testWorld(t)
+	if _, err := New(nil, w.Deploy, 1); err == nil {
+		t.Error("nil graph should fail")
+	}
+	if _, err := New(w.Graph, nil, 1); err == nil {
+		t.Error("nil deployment should fail")
+	}
+}
+
+func TestAnalyzeCatchment(t *testing.T) {
+	w := testWorld(t)
+	ugs, err := usergroup.Build(w.Graph, usergroup.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := AnalyzeCatchment(w, ugs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.UGs == 0 {
+		t.Fatal("no UGs analyzed")
+	}
+	// PoP shares form a distribution.
+	var sum float64
+	for _, s := range c.PoPShare {
+		if s < 0 {
+			t.Error("negative share")
+		}
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("PoP shares sum to %v", sum)
+	}
+	// Our AS-level substrate is more hostile than the real Internet
+	// (per-AS destination routing cannot express per-customer hot-potato
+	// egress, so whole ISPs land at single PoPs) — see DESIGN.md. The
+	// diagnostic still must show anycast working for a sizable share and
+	// inflation bounded by intra-continental distances.
+	if c.InflatedFrac > 0.9 {
+		t.Errorf("%.0f%% of traffic inflated >%v km; world implausibly hostile", 100*c.InflatedFrac, c.ThresholdKm)
+	}
+	if q, err := c.InflationKm.Quantile(0.5); err != nil || q > 6000 {
+		t.Errorf("median inflation %v km implausible (%v)", q, err)
+	}
+	// Latency headroom must be non-negative and positive somewhere.
+	if mx, _ := c.InflationMs.Quantile(1); mx <= 0 {
+		t.Error("no UG has latency headroom; PAINTER would be pointless here")
+	}
+	top := c.TopPoPs(3)
+	if len(top) == 0 || top[0].Share <= 0 {
+		t.Fatal("TopPoPs empty")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Share > top[i-1].Share {
+			t.Error("TopPoPs not descending")
+		}
+	}
+}

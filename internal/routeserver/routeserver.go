@@ -1,0 +1,210 @@
+// Package routeserver implements a small BGP route server: it accepts
+// speaker sessions, maintains a RIB from their announcements, applies
+// route-flap damping, and exposes a queryable snapshot. In the PAINTER
+// deployment story this is the PoP-side route machinery painterd
+// installs advertisement configurations into (Fig. 4's "Advertisement
+// Installation"); in the evaluation it doubles as the RIS-like
+// collector counting churn.
+package routeserver
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"painter/internal/bgp"
+)
+
+// Config configures a route server.
+type Config struct {
+	// ListenAddr is the TCP address to accept BGP sessions on.
+	ListenAddr string
+	// LocalAS / BGPID identify the server in OPEN messages.
+	LocalAS uint16
+	BGPID   uint32
+	// HoldTime for sessions.
+	HoldTime time.Duration
+	// Damping, when non-nil, suppresses flapping prefixes.
+	Damping *bgp.DampingConfig
+	// Logf, when set, receives event logs.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running route server.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	rib *bgp.RIB
+	dmp *bgp.Damper
+
+	mu       sync.Mutex
+	sessions map[bgp.PeerID]*session
+	nextPeer uint32
+
+	updates    atomic.Uint64
+	withdraws  atomic.Uint64
+	suppressed atomic.Uint64
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type session struct {
+	id      bgp.PeerID
+	speaker *bgp.Speaker
+	remote  string
+}
+
+// New starts a route server.
+func New(cfg Config) (*Server, error) {
+	if cfg.HoldTime <= 0 {
+		cfg.HoldTime = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("routeserver: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		rib:      bgp.NewRIB(nil),
+		sessions: make(map[bgp.PeerID]*session),
+		closed:   make(chan struct{}),
+	}
+	if cfg.Damping != nil {
+		s.dmp = bgp.NewDamper(*cfg.Damping, nil)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// RIB returns the server's RIB (live; safe for concurrent reads).
+func (s *Server) RIB() *bgp.RIB { return s.rib }
+
+// Stats is a counters snapshot.
+type Stats struct {
+	Sessions            int
+	Updates, Withdraws  uint64
+	SuppressedAnnounces uint64
+	Prefixes            int
+}
+
+// Stats returns current counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	return Stats{
+		Sessions:            n,
+		Updates:             s.updates.Load(),
+		Withdraws:           s.withdraws.Load(),
+		SuppressedAnnounces: s.suppressed.Load(),
+		Prefixes:            s.rib.Size(),
+	}
+}
+
+// Suppressed reports whether damping currently suppresses a prefix.
+func (s *Server) Suppressed(p netip.Prefix) bool {
+	return s.dmp != nil && s.dmp.Suppressed(p)
+}
+
+// Close stops the server and all sessions.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		_ = sess.speaker.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	sp := bgp.NewSpeaker(conn, s.cfg.LocalAS, s.cfg.BGPID, s.cfg.HoldTime)
+	if err := sp.Handshake(); err != nil {
+		s.cfg.Logf("routeserver: handshake with %s failed: %v", conn.RemoteAddr(), err)
+		_ = conn.Close()
+		return
+	}
+	s.mu.Lock()
+	s.nextPeer++
+	id := bgp.PeerID(s.nextPeer)
+	sess := &session{id: id, speaker: sp, remote: conn.RemoteAddr().String()}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.cfg.Logf("routeserver: session %d up with AS%d (%s)", id, sp.PeerOpen.AS, sess.remote)
+
+	sp.OnUpdate = func(u bgp.Update) { s.handleUpdate(id, sp.PeerOpen.AS, u) }
+	err := sp.Run()
+	s.cfg.Logf("routeserver: session %d down (%v)", id, err)
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	s.rib.DropPeer(id)
+	_ = sp.Close()
+}
+
+func (s *Server) handleUpdate(peer bgp.PeerID, peerAS uint16, u bgp.Update) {
+	for _, p := range u.Withdrawn {
+		s.withdraws.Add(1)
+		if s.dmp != nil {
+			s.dmp.OnWithdraw(p)
+		}
+		s.rib.Withdraw(peer, p)
+	}
+	for _, p := range u.NLRI {
+		s.updates.Add(1)
+		if s.dmp != nil {
+			s.dmp.OnAttrChange(p)
+			if s.dmp.Suppressed(p) {
+				s.suppressed.Add(1)
+				continue
+			}
+		}
+		s.rib.Learn(bgp.RIBEntry{
+			Peer:      peer,
+			Prefix:    p,
+			ASPath:    append([]uint16{peerAS}, u.ASPath...),
+			NextHop:   u.NextHop,
+			LocalPref: u.LocalPref,
+			MED:       u.MED,
+			Origin:    u.Origin,
+		})
+	}
+}
+
+// LogfStd adapts the standard logger for Config.Logf.
+func LogfStd(format string, args ...any) { log.Printf(format, args...) }

@@ -1,0 +1,606 @@
+package tm
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"painter/internal/tmproto"
+)
+
+// EdgeConfig configures a TM-Edge.
+type EdgeConfig struct {
+	// Destinations is the initial tunnel destination set (addresses in
+	// PAINTER prefixes plus the anycast destination). May be replaced at
+	// runtime via ResolveFrom or SetDestinations.
+	Destinations []tmproto.Destination
+	// ProbeInterval is the idle cadence between probes per destination;
+	// the prober is additionally self-clocked: a reply immediately
+	// schedules the next probe, so the effective cadence is ≈max(RTT,
+	// ProbeInterval).
+	ProbeInterval time.Duration
+	// FailureRTTMultiple: a destination is declared dead when a probe
+	// goes unanswered for FailureRTTMultiple × smoothed RTT (floor
+	// MinFailureTimeout). 1.3 reproduces the paper's detection times.
+	FailureRTTMultiple float64
+	MinFailureTimeout  time.Duration
+	// SwitchHysteresisMs: switch the preferred destination only when the
+	// challenger is better by this margin, preventing oscillation
+	// (§3.2, avoiding oscillations). Used by the default LowestRTT
+	// policy; ignored when Policy is set.
+	SwitchHysteresisMs float64
+	// Policy chooses among alive destinations; nil means
+	// LowestRTT{HysteresisMs: SwitchHysteresisMs}.
+	Policy SelectionPolicy
+	// OnReturn receives decapsulated return traffic for client flows.
+	OnReturn func(flow tmproto.FlowKey, payload []byte)
+	// OnEvent, if set, receives state-change events (selection changes,
+	// destination death/recovery).
+	OnEvent func(Event)
+}
+
+// DefaultEdgeConfig returns production-shaped defaults (timers scaled
+// down in tests).
+func DefaultEdgeConfig() EdgeConfig {
+	return EdgeConfig{
+		ProbeInterval:      50 * time.Millisecond,
+		FailureRTTMultiple: 1.3,
+		MinFailureTimeout:  20 * time.Millisecond,
+		SwitchHysteresisMs: 2,
+	}
+}
+
+// EventKind discriminates edge events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventSelected EventKind = iota + 1
+	EventDestDead
+	EventDestAlive
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSelected:
+		return "selected"
+	case EventDestDead:
+		return "dest-dead"
+	case EventDestAlive:
+		return "dest-alive"
+	default:
+		return "event"
+	}
+}
+
+// Event is one edge state change.
+type Event struct {
+	Kind EventKind
+	Dest tmproto.Destination
+	// Prev is the previously selected destination for EventSelected.
+	Prev *tmproto.Destination
+	At   time.Time
+	// SinceLastReply, for EventDestDead, is how long the destination had
+	// been silent when declared dead (the detection latency).
+	SinceLastReply time.Duration
+	RTT            time.Duration
+}
+
+// destState is the edge's view of one tunnel destination.
+type destState struct {
+	dest tmproto.Destination
+	addr *net.UDPAddr
+
+	alive       bool
+	rttEWMA     float64 // ms
+	lastReply   time.Time
+	lastProbe   time.Time
+	awaitingSeq uint32
+	awaiting    bool
+	everReplied bool
+}
+
+// Edge is a running TM-Edge.
+type Edge struct {
+	cfg  EdgeConfig
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	dests    map[string]*destState // keyed by addr string
+	selected string                // addr of current best destination
+	// lastSelected remembers the previous selection even after its
+	// destination died, so failovers triggered by death are attributed.
+	lastSelected *tmproto.Destination
+	flows        map[tmproto.FlowKey]string
+	seq          uint32
+	seqOwner     map[uint32]string
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	statsMu sync.Mutex
+	stats   EdgeStats
+}
+
+// EdgeStats counts edge activity.
+type EdgeStats struct {
+	ProbesSent, RepliesRcvd uint64
+	DataSent, DataRcvd      uint64
+	Failovers               uint64
+	RepinnedFlows           uint64
+}
+
+// NewEdge starts a TM-Edge with the given configuration.
+func NewEdge(cfg EdgeConfig) (*Edge, error) {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 50 * time.Millisecond
+	}
+	if cfg.FailureRTTMultiple <= 0 {
+		cfg.FailureRTTMultiple = 1.3
+	}
+	if cfg.MinFailureTimeout <= 0 {
+		cfg.MinFailureTimeout = 20 * time.Millisecond
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("tm: edge listen: %w", err)
+	}
+	_ = conn.SetReadBuffer(1 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
+	e := &Edge{
+		cfg:      cfg,
+		conn:     conn,
+		dests:    make(map[string]*destState),
+		flows:    make(map[tmproto.FlowKey]string),
+		seqOwner: make(map[uint32]string),
+		closed:   make(chan struct{}),
+	}
+	if err := e.SetDestinations(cfg.Destinations); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	e.wg.Add(2)
+	go e.readLoop()
+	go e.probeLoop()
+	return e, nil
+}
+
+// Addr returns the edge's local UDP address.
+func (e *Edge) Addr() string { return e.conn.LocalAddr().String() }
+
+// SetDestinations replaces the destination set. Existing flows pinned to
+// removed destinations are re-pinned on next send.
+func (e *Edge) SetDestinations(dests []tmproto.Destination) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	seen := make(map[string]bool, len(dests))
+	for _, d := range dests {
+		if !d.Addr.Is4() {
+			return fmt.Errorf("tm: destination %v not IPv4", d.Addr)
+		}
+		key := destKey(d)
+		seen[key] = true
+		if _, ok := e.dests[key]; ok {
+			continue
+		}
+		ua, err := net.ResolveUDPAddr("udp", key)
+		if err != nil {
+			return err
+		}
+		e.dests[key] = &destState{dest: d, addr: ua}
+	}
+	for key := range e.dests {
+		if !seen[key] {
+			delete(e.dests, key)
+			if e.selected == key {
+				e.selected = ""
+			}
+		}
+	}
+	return nil
+}
+
+func destKey(d tmproto.Destination) string {
+	return fmt.Sprintf("%s:%d", d.Addr, d.Port)
+}
+
+// ResolveFrom queries a TM-PoP for the destination set of a service and
+// installs it. It blocks until a reply arrives or the timeout expires.
+func (e *Edge) ResolveFrom(popAddr, service string, timeout time.Duration) error {
+	req, err := tmproto.AppendResolve(nil, tmproto.Resolve{Service: service})
+	if err != nil {
+		return err
+	}
+	ua, err := net.ResolveUDPAddr("udp", popAddr)
+	if err != nil {
+		return err
+	}
+	// Use a dedicated socket so the reply is not interleaved with tunnel
+	// traffic.
+	c, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Write(req); err != nil {
+		return err
+	}
+	_ = c.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 64*1024)
+	n, err := c.Read(buf)
+	if err != nil {
+		return fmt.Errorf("tm: resolve from %s: %w", popAddr, err)
+	}
+	rr, err := tmproto.ParseResolveReply(buf[:n])
+	if err != nil {
+		return err
+	}
+	return e.SetDestinations(rr.Destinations)
+}
+
+// Stats returns a snapshot.
+func (e *Edge) Stats() EdgeStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
+
+// Close stops the edge.
+func (e *Edge) Close() error {
+	select {
+	case <-e.closed:
+		return nil
+	default:
+	}
+	close(e.closed)
+	err := e.conn.Close()
+	e.wg.Wait()
+	return err
+}
+
+// DestinationStatus is a point-in-time view of one destination.
+type DestinationStatus struct {
+	Dest     tmproto.Destination
+	Alive    bool
+	RTT      time.Duration
+	Selected bool
+}
+
+// Status returns the current view of all destinations, sorted by
+// address.
+func (e *Edge) Status() []DestinationStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]DestinationStatus, 0, len(e.dests))
+	for key, ds := range e.dests {
+		out = append(out, DestinationStatus{
+			Dest:     ds.dest,
+			Alive:    ds.alive,
+			RTT:      time.Duration(ds.rttEWMA * float64(time.Millisecond)),
+			Selected: key == e.selected,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return destKey(out[i].Dest) < destKey(out[j].Dest) })
+	return out
+}
+
+// Selected returns the currently selected destination (ok=false when no
+// destination is alive yet).
+func (e *Edge) Selected() (tmproto.Destination, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ds, ok := e.dests[e.selected]
+	if !ok {
+		return tmproto.Destination{}, false
+	}
+	return ds.dest, true
+}
+
+// Send tunnels one client payload. The flow is pinned to the selected
+// destination on first use and the mapping is immutable for the flow's
+// lifetime (§3.2) — unless its destination has died, in which case the
+// flow re-pins (connection state is lost, which the paper accepts in
+// exchange for not building a handover system).
+func (e *Edge) Send(flow tmproto.FlowKey, payload []byte) error {
+	e.mu.Lock()
+	key, pinned := e.flows[flow]
+	ds := e.dests[key]
+	if !pinned || ds == nil || !ds.alive {
+		sel := e.dests[e.selected]
+		if sel == nil || !sel.alive {
+			// Fall back to any alive destination.
+			sel = nil
+			for _, cand := range e.sortedDestsLocked() {
+				if cand.alive {
+					sel = cand
+					break
+				}
+			}
+		}
+		if sel == nil {
+			e.mu.Unlock()
+			return fmt.Errorf("tm: no alive destination")
+		}
+		if pinned {
+			e.statsMu.Lock()
+			e.stats.RepinnedFlows++
+			e.statsMu.Unlock()
+		}
+		e.flows[flow] = destKey(sel.dest)
+		ds = sel
+	}
+	addr := ds.addr
+	e.mu.Unlock()
+
+	out, err := tmproto.AppendData(nil, tmproto.Data{Flow: flow, Payload: payload})
+	if err != nil {
+		return err
+	}
+	if _, err := e.conn.WriteToUDP(out, addr); err != nil {
+		return err
+	}
+	e.statsMu.Lock()
+	e.stats.DataSent++
+	e.statsMu.Unlock()
+	return nil
+}
+
+// sortedDestsLocked returns destinations ordered by (rtt, key) with
+// never-probed ones last. Caller holds e.mu.
+func (e *Edge) sortedDestsLocked() []*destState {
+	out := make([]*destState, 0, len(e.dests))
+	for _, ds := range e.dests {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].rttEWMA, out[j].rttEWMA
+		if !out[i].everReplied {
+			ri = math.Inf(1)
+		}
+		if !out[j].everReplied {
+			rj = math.Inf(1)
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return destKey(out[i].dest) < destKey(out[j].dest)
+	})
+	return out
+}
+
+// probeLoop drives per-destination probing and failure detection.
+func (e *Edge) probeLoop() {
+	defer e.wg.Done()
+	tick := time.NewTicker(e.cfg.ProbeInterval / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.closed:
+			return
+		case now := <-tick.C:
+			e.probeRound(now)
+		}
+	}
+}
+
+// probeRound sends due probes and expires silent destinations.
+func (e *Edge) probeRound(now time.Time) {
+	type sendReq struct {
+		addr *net.UDPAddr
+		pkt  []byte
+	}
+	var sends []sendReq
+	var events []Event
+
+	e.mu.Lock()
+	for key, ds := range e.dests {
+		timeout := time.Duration(e.cfg.FailureRTTMultiple * ds.rttEWMA * float64(time.Millisecond))
+		if timeout < e.cfg.MinFailureTimeout {
+			timeout = e.cfg.MinFailureTimeout
+		}
+		// The silence threshold must allow one full probe interval plus
+		// a round trip, or a single in-flight probe would read as death.
+		if floor := e.cfg.ProbeInterval + time.Duration(ds.rttEWMA*float64(time.Millisecond)); timeout < floor {
+			timeout = floor
+		}
+		// Death check: probes outstanding and no reply for longer than
+		// the timeout. Keying on silence-since-last-reply (rather than
+		// on a single probe) makes isolated packet loss survivable: the
+		// prober pipelines probes below, so a healthy-but-lossy path
+		// keeps producing replies.
+		if ds.awaiting && ds.alive && now.Sub(ds.lastReply) > timeout {
+			ds.alive = false
+			events = append(events, Event{
+				Kind: EventDestDead, Dest: ds.dest, At: now,
+				SinceLastReply: now.Sub(ds.lastReply),
+				RTT:            time.Duration(ds.rttEWMA * float64(time.Millisecond)),
+			})
+			if e.selected == key {
+				e.selected = ""
+			}
+		}
+		// Probes are pipelined at the probe interval regardless of
+		// outstanding state: a lost probe must not silence the prober.
+		// Earlier probes stay registered in seqOwner so a late reply —
+		// e.g. from a destination whose true RTT exceeds the initial
+		// timeout — still marks the destination alive.
+		due := now.Sub(ds.lastProbe) >= e.cfg.ProbeInterval || ds.lastProbe.IsZero()
+		if due {
+			e.seq++
+			seq := e.seq
+			ds.awaitingSeq = seq
+			ds.awaiting = true
+			ds.lastProbe = now
+			e.seqOwner[seq] = key
+			e.gcSeqOwnerLocked()
+			pkt := tmproto.AppendProbe(nil, tmproto.Probe{
+				Seq: seq, SentUnixNano: now.UnixNano(),
+			}, false)
+			sends = append(sends, sendReq{addr: ds.addr, pkt: pkt})
+		}
+	}
+	events = append(events, e.reselectLocked(now)...)
+	e.mu.Unlock()
+
+	for _, s := range sends {
+		_, _ = e.conn.WriteToUDP(s.pkt, s.addr)
+		e.statsMu.Lock()
+		e.stats.ProbesSent++
+		e.statsMu.Unlock()
+	}
+	e.emit(events)
+}
+
+// reselectLocked applies the selection policy over the alive
+// destinations. Caller holds e.mu. Returns events to emit after unlock.
+func (e *Edge) reselectLocked(now time.Time) []Event {
+	var cands []DestinationStatus
+	var states []*destState
+	for _, ds := range e.sortedDestsLocked() {
+		if ds.alive && ds.everReplied {
+			cands = append(cands, DestinationStatus{
+				Dest:     ds.dest,
+				Alive:    true,
+				RTT:      time.Duration(ds.rttEWMA * float64(time.Millisecond)),
+				Selected: destKey(ds.dest) == e.selected,
+			})
+			states = append(states, ds)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	incumbent := -1
+	for i := range cands {
+		if cands[i].Selected {
+			incumbent = i
+		}
+	}
+	policy := e.cfg.Policy
+	if policy == nil {
+		policy = LowestRTT{HysteresisMs: e.cfg.SwitchHysteresisMs}
+	}
+	sel := policy.Select(cands, incumbent)
+	if sel < 0 || sel >= len(states) || sel == incumbent {
+		return nil
+	}
+	best := states[sel]
+	prev := e.lastSelected
+	if prev != nil && destKey(*prev) == destKey(best.dest) {
+		// Re-selecting the same destination (e.g. after a blip) is not a
+		// failover.
+		prev = nil
+	}
+	e.selected = destKey(best.dest)
+	d := best.dest
+	e.lastSelected = &d
+	if prev != nil {
+		e.statsMu.Lock()
+		e.stats.Failovers++
+		e.statsMu.Unlock()
+	}
+	return []Event{{
+		Kind: EventSelected, Dest: best.dest, Prev: prev, At: now,
+		RTT: time.Duration(best.rttEWMA * float64(time.Millisecond)),
+	}}
+}
+
+// gcSeqOwnerLocked bounds the outstanding-probe registry: when it grows
+// past 8192 entries, the oldest half (lowest sequence numbers) is
+// dropped. Caller holds e.mu.
+func (e *Edge) gcSeqOwnerLocked() {
+	const maxEntries = 8192
+	if len(e.seqOwner) <= maxEntries {
+		return
+	}
+	cut := e.seq - maxEntries/2
+	for s := range e.seqOwner {
+		if s < cut {
+			delete(e.seqOwner, s)
+		}
+	}
+}
+
+func (e *Edge) emit(events []Event) {
+	if e.cfg.OnEvent == nil {
+		return
+	}
+	for _, ev := range events {
+		e.cfg.OnEvent(ev)
+	}
+}
+
+// readLoop handles probe replies and return data.
+func (e *Edge) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		t, err := tmproto.PeekType(buf[:n])
+		if err != nil {
+			continue
+		}
+		switch t {
+		case tmproto.TypeProbeReply:
+			p, _, err := tmproto.ParseProbe(buf[:n])
+			if err != nil {
+				continue
+			}
+			e.handleProbeReply(p)
+		case tmproto.TypeData:
+			d, err := tmproto.ParseData(buf[:n])
+			if err != nil {
+				continue
+			}
+			e.statsMu.Lock()
+			e.stats.DataRcvd++
+			e.statsMu.Unlock()
+			if e.cfg.OnReturn != nil {
+				payload := append([]byte(nil), d.Payload...)
+				e.cfg.OnReturn(d.Flow, payload)
+			}
+		}
+	}
+}
+
+func (e *Edge) handleProbeReply(p tmproto.Probe) {
+	now := time.Now()
+	rttMs := float64(now.UnixNano()-p.SentUnixNano) / 1e6
+	if rttMs < 0 {
+		return
+	}
+	var events []Event
+	e.mu.Lock()
+	key, ok := e.seqOwner[p.Seq]
+	if ok {
+		delete(e.seqOwner, p.Seq)
+		if ds := e.dests[key]; ds != nil {
+			ds.awaiting = false
+			ds.lastReply = now
+			if !ds.everReplied {
+				ds.rttEWMA = rttMs
+				ds.everReplied = true
+			} else {
+				const alpha = 0.3
+				ds.rttEWMA = (1-alpha)*ds.rttEWMA + alpha*rttMs
+			}
+			if !ds.alive {
+				ds.alive = true
+				events = append(events, Event{Kind: EventDestAlive, Dest: ds.dest, At: now,
+					RTT: time.Duration(ds.rttEWMA * float64(time.Millisecond))})
+			}
+			events = append(events, e.reselectLocked(now)...)
+		}
+	}
+	e.mu.Unlock()
+	e.statsMu.Lock()
+	e.stats.RepliesRcvd++
+	e.statsMu.Unlock()
+	e.emit(events)
+}

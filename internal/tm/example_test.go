@@ -1,0 +1,31 @@
+package tm_test
+
+import (
+	"fmt"
+	"time"
+
+	"painter/internal/tm"
+	"painter/internal/tmproto"
+)
+
+// ExampleLowestRTT shows the default destination-selection policy's
+// hysteresis: a challenger within the margin does not displace the
+// incumbent, preventing oscillation between near-equal paths.
+func ExampleLowestRTT() {
+	policy := tm.LowestRTT{HysteresisMs: 5}
+	candidates := []tm.DestinationStatus{ // sorted by RTT ascending
+		{Dest: tmproto.Destination{PoP: 1}, Alive: true, RTT: 18 * time.Millisecond},
+		{Dest: tmproto.Destination{PoP: 2}, Alive: true, RTT: 20 * time.Millisecond, Selected: true},
+	}
+	// PoP 1 is 2 ms better: within the 5 ms hysteresis, keep PoP 2.
+	keep := policy.Select(candidates, 1)
+	fmt.Println("within hysteresis, selected PoP:", candidates[keep].Dest.PoP)
+
+	// PoP 1 improves to 8 ms: clearly better, switch.
+	candidates[0].RTT = 8 * time.Millisecond
+	sw := policy.Select(candidates, 1)
+	fmt.Println("beyond hysteresis, selected PoP:", candidates[sw].Dest.PoP)
+	// Output:
+	// within hysteresis, selected PoP: 2
+	// beyond hysteresis, selected PoP: 1
+}

@@ -1,0 +1,196 @@
+package tm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"painter/internal/netsim/emul"
+	"painter/internal/tmproto"
+)
+
+// TestTunnelUnderLoss drives sustained traffic through a lossy link and
+// checks the tunnel keeps working and the prober keeps the destination
+// alive despite drops.
+func TestTunnelUnderLoss(t *testing.T) {
+	pop, err := NewPoP(PoPConfig{ListenAddr: "127.0.0.1:0", PoPID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pop.Close()
+	link, err := emul.NewLink(pop.Addr(), 2*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	link.SetLossPct(10)
+
+	var rcvd atomic.Int64
+	cfg := DefaultEdgeConfig()
+	cfg.ProbeInterval = 10 * time.Millisecond
+	cfg.MinFailureTimeout = 100 * time.Millisecond // ride out bursts of loss
+	cfg.Destinations = []tmproto.Destination{destFor(link, 1)}
+	cfg.OnReturn = func(tmproto.FlowKey, []byte) { rcvd.Add(1) }
+	edge, err := NewEdge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := edge.Selected(); ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := edge.Selected(); !ok {
+		t.Fatal("destination never came alive under 10% loss")
+	}
+
+	const sends = 300
+	fk := flowKey(9000)
+	for i := 0; i < sends; i++ {
+		if err := edge.Send(fk, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && rcvd.Load() < sends*6/10 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	// 10% loss each way on data+echo: expect ~81% delivery; demand 60%.
+	if got := rcvd.Load(); got < sends*6/10 {
+		t.Errorf("delivered %d of %d echoes under 10%% loss", got, sends)
+	}
+	// The destination must still be alive (loss is not failure).
+	if d, ok := edge.Selected(); !ok || d.PoP != 1 {
+		t.Error("destination flapped dead under loss")
+	}
+}
+
+// TestManyConcurrentFlows exercises the PoP's Known Flows table with
+// hundreds of distinct flows concurrently.
+func TestManyConcurrentFlows(t *testing.T) {
+	pop, err := NewPoP(PoPConfig{ListenAddr: "127.0.0.1:0", PoPID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pop.Close()
+	link, err := emul.NewLink(pop.Addr(), time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	var mu sync.Mutex
+	perFlow := map[uint16]int{}
+	cfg := DefaultEdgeConfig()
+	cfg.ProbeInterval = 10 * time.Millisecond
+	cfg.Destinations = []tmproto.Destination{destFor(link, 1)}
+	cfg.OnReturn = func(fk tmproto.FlowKey, _ []byte) {
+		mu.Lock()
+		perFlow[fk.SrcPort]++
+		mu.Unlock()
+	}
+	edge, err := NewEdge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := edge.Selected(); ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	const flows = 200
+	var wg sync.WaitGroup
+	for i := 0; i < flows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fk := flowKey(uint16(10000 + i))
+			for j := 0; j < 3; j++ {
+				_ = edge.Send(fk, []byte{byte(j)})
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(perFlow)
+		mu.Unlock()
+		if n >= flows*95/100 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	n := len(perFlow)
+	mu.Unlock()
+	if n < flows*95/100 {
+		t.Errorf("only %d of %d flows got echoes", n, flows)
+	}
+	if st := pop.Stats(); st.ActiveFlows < flows*95/100 {
+		t.Errorf("PoP Known Flows has %d entries, want ~%d", st.ActiveFlows, flows)
+	}
+}
+
+// BenchmarkTunnelRoundTrip measures end-to-end round trips through the
+// full encap → link → decap → NAT → echo → return path.
+func BenchmarkTunnelRoundTrip(b *testing.B) {
+	pop, err := NewPoP(PoPConfig{ListenAddr: "127.0.0.1:0", PoPID: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pop.Close()
+	link, err := emul.NewLink(pop.Addr(), 0, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer link.Close()
+
+	echo := make(chan struct{}, 1024)
+	cfg := DefaultEdgeConfig()
+	cfg.ProbeInterval = 20 * time.Millisecond
+	cfg.Destinations = []tmproto.Destination{destFor(link, 1)}
+	cfg.OnReturn = func(tmproto.FlowKey, []byte) { echo <- struct{}{} }
+	edge, err := NewEdge(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer edge.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := edge.Selected(); ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := edge.Selected(); !ok {
+		b.Fatal("no destination")
+	}
+
+	payload := make([]byte, 1400)
+	fk := flowKey(20000)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := edge.Send(fk, payload); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-echo:
+		case <-time.After(2 * time.Second):
+			b.Fatal("echo timeout")
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package tm
+
+// SelectionPolicy decides which tunnel destination new flows should use
+// (§3.2: "the Traffic Manager can use different destination selection
+// policies according to enterprise network or service goals"). The edge
+// invokes it whenever destination state changes.
+//
+// Candidates are the currently alive destinations with measured RTTs,
+// sorted by ascending RTT (ties by address). incumbent is the index of
+// the currently selected destination within candidates, or -1 when the
+// current selection is dead or absent. Implementations return the index
+// to select; returning the incumbent keeps the selection.
+type SelectionPolicy interface {
+	Select(candidates []DestinationStatus, incumbent int) int
+}
+
+// LowestRTT selects the lowest-RTT destination with hysteresis: the
+// incumbent is kept unless a challenger beats it by HysteresisMs,
+// preventing oscillation between near-equal paths (§3.2, [38]).
+type LowestRTT struct {
+	HysteresisMs float64
+}
+
+// Select implements SelectionPolicy.
+func (p LowestRTT) Select(candidates []DestinationStatus, incumbent int) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	if incumbent >= 0 && incumbent < len(candidates) {
+		bestMs := float64(candidates[0].RTT.Microseconds()) / 1000
+		curMs := float64(candidates[incumbent].RTT.Microseconds()) / 1000
+		if bestMs >= curMs-p.HysteresisMs {
+			return incumbent
+		}
+	}
+	return 0
+}
+
+// PreferPoP pins the selection to a specific PoP whenever any of its
+// destinations is alive, falling back to the lowest-RTT alternative
+// otherwise — the "route this service through the compliance region"
+// sort of policy an enterprise might configure.
+type PreferPoP struct {
+	PoP      uint32
+	Fallback SelectionPolicy
+}
+
+// Select implements SelectionPolicy.
+func (p PreferPoP) Select(candidates []DestinationStatus, incumbent int) int {
+	for i, c := range candidates {
+		if c.Dest.PoP == p.PoP {
+			return i
+		}
+	}
+	fb := p.Fallback
+	if fb == nil {
+		fb = LowestRTT{}
+	}
+	return fb.Select(candidates, incumbent)
+}
+
+// AvoidPoP steers away from a PoP unless it is the only alive option —
+// e.g. drain a site before maintenance.
+type AvoidPoP struct {
+	PoP      uint32
+	Fallback SelectionPolicy
+}
+
+// Select implements SelectionPolicy.
+func (p AvoidPoP) Select(candidates []DestinationStatus, incumbent int) int {
+	var filtered []DestinationStatus
+	idx := make([]int, 0, len(candidates))
+	for i, c := range candidates {
+		if c.Dest.PoP != p.PoP {
+			filtered = append(filtered, c)
+			idx = append(idx, i)
+		}
+	}
+	if len(filtered) == 0 {
+		// Only the avoided PoP remains: better than nothing.
+		fb := p.Fallback
+		if fb == nil {
+			fb = LowestRTT{}
+		}
+		return fb.Select(candidates, incumbent)
+	}
+	// Map the incumbent into the filtered view.
+	fIncumbent := -1
+	for j, i := range idx {
+		if i == incumbent {
+			fIncumbent = j
+		}
+	}
+	fb := p.Fallback
+	if fb == nil {
+		fb = LowestRTT{}
+	}
+	sel := fb.Select(filtered, fIncumbent)
+	if sel < 0 {
+		return -1
+	}
+	return idx[sel]
+}

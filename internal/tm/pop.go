@@ -1,0 +1,265 @@
+// Package tm implements the Traffic Manager (§3.2, §4, Appendix D):
+// TM-PoP, the PoP-side tunnel terminator that decapsulates client
+// traffic, NATs it through a Known Flows table, and returns service
+// responses through the tunnel; and TM-Edge, the edge-proxy side that
+// probes every available destination, pins flows to destinations, and
+// fails over between prefixes at RTT timescales.
+package tm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"painter/internal/tmproto"
+)
+
+// Service handles decapsulated client payloads at a PoP. Front-ends
+// "terminate TCP connections" in the paper; here the service consumes a
+// payload and may reply via the provided function (which routes back
+// through the tunnel and NAT).
+type Service interface {
+	Handle(flow tmproto.FlowKey, payload []byte, reply func(payload []byte) error)
+}
+
+// EchoService replies with the payload it receives — the stand-in
+// workload for prototype experiments.
+type EchoService struct{}
+
+// Handle implements Service.
+func (EchoService) Handle(_ tmproto.FlowKey, payload []byte, reply func([]byte) error) {
+	_ = reply(payload)
+}
+
+// PoPConfig configures a TM-PoP.
+type PoPConfig struct {
+	// ListenAddr is the UDP address to bind ("127.0.0.1:0" for tests).
+	ListenAddr string
+	// PoPID identifies this PoP in resolve replies.
+	PoPID uint32
+	// Destinations is the destination set returned to TM-Edges asking to
+	// resolve a service (the Advertisement Orchestrator installs this
+	// via the control channel; cmd/painterd drives it over HTTP).
+	Destinations []tmproto.Destination
+	// Service handles client payloads; nil means EchoService.
+	Service Service
+	// FlowTTL is how long idle Known Flows entries are retained.
+	FlowTTL time.Duration
+}
+
+// PoP is a running TM-PoP.
+type PoP struct {
+	cfg  PoPConfig
+	conn *net.UDPConn
+
+	mu    sync.Mutex
+	flows map[tmproto.FlowKey]*popFlow
+	dests []tmproto.Destination
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	statsMu sync.Mutex
+	stats   PoPStats
+}
+
+// PoPStats counts datagram handling.
+type PoPStats struct {
+	DataIn, DataOut     uint64
+	Probes              uint64
+	Resolves            uint64
+	Malformed, Unknown  uint64
+	ActiveFlows, Purged int
+}
+
+// popFlow is one Known Flows entry: the NAT state needed to send return
+// traffic back through the right tunnel (Appendix D).
+type popFlow struct {
+	edge     *net.UDPAddr
+	lastSeen time.Time
+}
+
+// NewPoP binds and starts a TM-PoP.
+func NewPoP(cfg PoPConfig) (*PoP, error) {
+	if cfg.Service == nil {
+		cfg.Service = EchoService{}
+	}
+	if cfg.FlowTTL <= 0 {
+		cfg.FlowTTL = 5 * time.Minute
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tm: resolve %q: %w", cfg.ListenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tm: listen: %w", err)
+	}
+	_ = conn.SetReadBuffer(1 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
+	p := &PoP{
+		cfg:    cfg,
+		conn:   conn,
+		flows:  make(map[tmproto.FlowKey]*popFlow),
+		dests:  append([]tmproto.Destination(nil), cfg.Destinations...),
+		closed: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.readLoop()
+	return p, nil
+}
+
+// Addr returns the bound UDP address.
+func (p *PoP) Addr() string { return p.conn.LocalAddr().String() }
+
+// SetDestinations atomically replaces the advertised destination set
+// (what the Advertisement Orchestrator's "advertisement installation"
+// step updates).
+func (p *PoP) SetDestinations(d []tmproto.Destination) {
+	p.mu.Lock()
+	p.dests = append([]tmproto.Destination(nil), d...)
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of counters.
+func (p *PoP) Stats() PoPStats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	s := p.stats
+	p.mu.Lock()
+	s.ActiveFlows = len(p.flows)
+	p.mu.Unlock()
+	return s
+}
+
+// Close shuts the PoP down.
+func (p *PoP) Close() error {
+	select {
+	case <-p.closed:
+		return nil
+	default:
+	}
+	close(p.closed)
+	err := p.conn.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *PoP) bump(f func(*PoPStats)) {
+	p.statsMu.Lock()
+	f(&p.stats)
+	p.statsMu.Unlock()
+}
+
+func (p *PoP) readLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, 64*1024)
+	lastPurge := time.Now()
+	for {
+		n, from, err := p.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if now := time.Now(); now.Sub(lastPurge) > p.cfg.FlowTTL {
+			p.purge(now)
+			lastPurge = now
+		}
+		t, err := tmproto.PeekType(buf[:n])
+		if err != nil {
+			p.bump(func(s *PoPStats) { s.Malformed++ })
+			continue
+		}
+		switch t {
+		case tmproto.TypeProbe:
+			p.bump(func(s *PoPStats) { s.Probes++ })
+			if reply, err := tmproto.MakeReply(buf[:n]); err == nil {
+				_, _ = p.conn.WriteToUDP(reply, from)
+			}
+		case tmproto.TypeData:
+			d, err := tmproto.ParseData(buf[:n])
+			if err != nil {
+				p.bump(func(s *PoPStats) { s.Malformed++ })
+				continue
+			}
+			p.bump(func(s *PoPStats) { s.DataIn++ })
+			p.handleData(d, from)
+		case tmproto.TypeResolve:
+			r, err := tmproto.ParseResolve(buf[:n])
+			if err != nil {
+				p.bump(func(s *PoPStats) { s.Malformed++ })
+				continue
+			}
+			p.bump(func(s *PoPStats) { s.Resolves++ })
+			p.mu.Lock()
+			dests := append([]tmproto.Destination(nil), p.dests...)
+			p.mu.Unlock()
+			out, err := tmproto.AppendResolveReply(nil, tmproto.ResolveReply{
+				Service: r.Service, Destinations: dests,
+			})
+			if err == nil {
+				_, _ = p.conn.WriteToUDP(out, from)
+			}
+		default:
+			p.bump(func(s *PoPStats) { s.Unknown++ })
+		}
+	}
+}
+
+// handleData records/refreshes the Known Flows entry and hands the
+// payload to the service. The reply closure re-encapsulates and sends
+// back through the tunnel to whichever edge most recently carried the
+// flow (the NAT property that return traffic goes back through the
+// tunnel, not directly to the client).
+func (p *PoP) handleData(d tmproto.Data, from *net.UDPAddr) {
+	p.mu.Lock()
+	fl := p.flows[d.Flow]
+	if fl == nil {
+		fl = &popFlow{}
+		p.flows[d.Flow] = fl
+	}
+	fl.edge = from
+	fl.lastSeen = time.Now()
+	p.mu.Unlock()
+
+	flow := d.Flow
+	payload := append([]byte(nil), d.Payload...)
+	reply := func(resp []byte) error {
+		p.mu.Lock()
+		fl := p.flows[flow]
+		var edge *net.UDPAddr
+		if fl != nil {
+			edge = fl.edge
+		}
+		p.mu.Unlock()
+		if edge == nil {
+			return fmt.Errorf("tm: flow %v no longer known", flow)
+		}
+		out, err := tmproto.AppendData(nil, tmproto.Data{Flow: flow, Payload: resp})
+		if err != nil {
+			return err
+		}
+		if _, err := p.conn.WriteToUDP(out, edge); err != nil {
+			return err
+		}
+		p.bump(func(s *PoPStats) { s.DataOut++ })
+		return nil
+	}
+	p.cfg.Service.Handle(flow, payload, reply)
+}
+
+// purge drops idle flows. Caller must not hold p.mu.
+func (p *PoP) purge(now time.Time) {
+	p.mu.Lock()
+	purged := 0
+	for k, f := range p.flows {
+		if now.Sub(f.lastSeen) > p.cfg.FlowTTL {
+			delete(p.flows, k)
+			purged++
+		}
+	}
+	p.mu.Unlock()
+	if purged > 0 {
+		p.bump(func(s *PoPStats) { s.Purged += purged })
+	}
+}

@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InferredRel is one inferred relationship between a pair of ASes.
+type InferredRel struct {
+	A, B ASN // A's view of B
+	Rel  Relationship
+}
+
+// InferRelationships infers AS relationships from a corpus of observed
+// AS paths (each path ordered origin→...→collector, i.e. the order BGP
+// AS_PATH attributes list after reversal). It implements the classic
+// degree-based algorithm in the spirit of Gao (2001) / ProbLink: the
+// highest-degree AS on each path is assumed to be the "top of the hill";
+// links walking up to it are customer→provider and links walking down
+// are provider→customer. Links that are voted inconsistently across
+// paths, or that connect two near-equal-degree ASes at a path top, are
+// classified as peering.
+//
+// The Advertisement Orchestrator uses inferred relationships to derive
+// customer cones and hence policy-compliant ingresses when ground-truth
+// relationship data is unavailable (§3.1: "derive customer cones of each
+// peer using ProbLink AS relationships").
+func InferRelationships(paths [][]ASN) []InferredRel {
+	// Degree estimation from the corpus itself.
+	degree := make(map[ASN]int)
+	adj := make(map[ASN]map[ASN]bool)
+	note := func(a, b ASN) {
+		if adj[a] == nil {
+			adj[a] = make(map[ASN]bool)
+		}
+		if !adj[a][b] {
+			adj[a][b] = true
+			degree[a]++
+		}
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == p[i+1] { // prepending
+				continue
+			}
+			note(p[i], p[i+1])
+			note(p[i+1], p[i])
+		}
+	}
+
+	type key struct{ lo, hi ASN }
+	// votes[k] counts, for the ordered pair (lo,hi), how often lo appeared
+	// as the customer (upVotes) vs as the provider (downVotes).
+	type tally struct{ loIsCustomer, hiIsCustomer, top int }
+	votes := make(map[key]*tally)
+	getTally := func(a, b ASN) (*tally, bool) {
+		k := key{a, b}
+		flipped := false
+		if b < a {
+			k = key{b, a}
+			flipped = true
+		}
+		t := votes[k]
+		if t == nil {
+			t = &tally{}
+			votes[k] = t
+		}
+		return t, flipped
+	}
+
+	for _, p := range paths {
+		// Compress prepending.
+		q := p[:0:0]
+		for _, n := range p {
+			if len(q) == 0 || q[len(q)-1] != n {
+				q = append(q, n)
+			}
+		}
+		if len(q) < 2 {
+			continue
+		}
+		// Find index of the max-degree AS.
+		topIdx := 0
+		for i, n := range q {
+			if degree[n] > degree[q[topIdx]] {
+				topIdx = i
+			}
+		}
+		// Before top: ascending customer->provider. After: descending.
+		for i := 0; i+1 < len(q); i++ {
+			a, b := q[i], q[i+1]
+			t, flipped := getTally(a, b)
+			switch {
+			case i+1 <= topIdx:
+				// a is customer of b.
+				if flipped {
+					t.hiIsCustomer++
+				} else {
+					t.loIsCustomer++
+				}
+			default:
+				// b is customer of a.
+				if flipped {
+					t.loIsCustomer++
+				} else {
+					t.hiIsCustomer++
+				}
+			}
+			if i == topIdx-1 && i+1 == topIdx && topIdx+1 < len(q) {
+				// The link crossing the very top between two high-degree
+				// ASes is a peering candidate.
+				if similarDegree(degree[a], degree[b]) {
+					t.top++
+				}
+			}
+		}
+	}
+
+	out := make([]InferredRel, 0, len(votes))
+	for k, t := range votes {
+		var rel Relationship
+		switch {
+		case t.top > 0 && disagree(t.loIsCustomer, t.hiIsCustomer):
+			rel = RelPeer
+		case t.loIsCustomer > t.hiIsCustomer:
+			// lo is customer => from lo's view, hi is its provider.
+			rel = RelProvider
+		case t.hiIsCustomer > t.loIsCustomer:
+			rel = RelCustomer
+		default:
+			rel = RelPeer
+		}
+		out = append(out, InferredRel{A: k.lo, B: k.hi, Rel: rel})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// similarDegree reports whether two degree counts are within a factor of
+// two of each other, the heuristic for peer candidates.
+func similarDegree(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return b <= 2*a
+}
+
+// disagree reports whether both directions received votes, meaning paths
+// were seen traversing the link in both business directions — the classic
+// signature of a peering link near path tops.
+func disagree(up, down int) bool { return up > 0 && down > 0 }
+
+// BuildFromInferred constructs a Graph from inferred relationships. ASes
+// absent from the metro database are created with no presence info; the
+// caller may decorate them later. Tiers are assigned by provider count:
+// no providers → tier-1, providers with customers → tier-2, else stub.
+func BuildFromInferred(rels []InferredRel) (*Graph, error) {
+	g := NewGraph()
+	seen := make(map[ASN]bool)
+	add := func(n ASN) {
+		if !seen[n] {
+			seen[n] = true
+			_ = g.AddAS(&AS{ASN: n, Tier: TierStub, Kind: KindTransit})
+		}
+	}
+	for _, r := range rels {
+		add(r.A)
+		add(r.B)
+		if err := g.Link(r.A, r.B, r.Rel); err != nil {
+			return nil, fmt.Errorf("topology: inferred link: %w", err)
+		}
+	}
+	for _, n := range g.ASNs() {
+		a := g.ases[n]
+		switch {
+		case len(a.Providers) == 0 && len(a.Customers) > 0:
+			a.Tier = TierOne
+		case len(a.Customers) > 0:
+			a.Tier = TierTwo
+		default:
+			a.Tier = TierStub
+		}
+	}
+	return g, nil
+}
+
+// InferAccuracy compares inferred relationships against ground truth and
+// returns the fraction of inferred links whose relationship matches.
+// Links absent from the truth graph are ignored.
+func InferAccuracy(truth *Graph, rels []InferredRel) float64 {
+	total, correct := 0, 0
+	for _, r := range rels {
+		want := truth.Rel(r.A, r.B)
+		if want == RelNone {
+			continue
+		}
+		total++
+		if want == r.Rel {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

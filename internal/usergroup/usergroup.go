@@ -1,0 +1,258 @@
+// Package usergroup defines user groups (UGs) — users in the same AS and
+// metropolitan area, the paper's unit of traffic aggregation (§3.1) —
+// plus traffic weights and recursive-resolver assignment used by the DNS
+// granularity experiments (§5.2.2).
+package usergroup
+
+import (
+	"fmt"
+	"sort"
+
+	"painter/internal/geo"
+	"painter/internal/stats"
+	"painter/internal/topology"
+)
+
+// ID identifies a user group.
+type ID int32
+
+// UG is one user group: users of one AS in one metro.
+type UG struct {
+	ID    ID
+	ASN   topology.ASN
+	Metro string
+	Coord geo.Coord
+	// Weight is the UG's share of total cloud traffic volume (sums to 1
+	// across a Set).
+	Weight float64
+	// Resolver is the recursive DNS resolver serving this UG.
+	Resolver ResolverID
+}
+
+// ResolverID identifies a recursive resolver.
+type ResolverID int32
+
+// Resolver models one recursive DNS resolver and where it sits.
+type Resolver struct {
+	ID    ResolverID
+	Metro string
+	// Public marks large public DNS services (e.g. Google Public DNS)
+	// that serve users far from the resolver location and support ECS.
+	Public bool
+}
+
+// Set is a collection of UGs with the resolver catalog.
+type Set struct {
+	UGs       []UG
+	Resolvers []Resolver
+
+	byID  map[ID]*UG
+	byRes map[ResolverID][]ID
+}
+
+// Config parameterizes UG construction.
+type Config struct {
+	Seed int64
+	// ZipfExponent controls traffic concentration across UGs. ~1.1
+	// reproduces the heavy skew of real cloud traffic.
+	ZipfExponent float64
+	// PublicResolverFrac is the fraction of UGs using a public resolver
+	// regardless of location. Real-world: a large minority uses Google
+	// DNS / similar.
+	PublicResolverFrac float64
+	// ResolversPerISP is how many resolver pools each ISP operates. ISP
+	// resolvers serve the ISP's customers across its whole footprint,
+	// which is what makes DNS-based steering coarse (§5.2.2: LDNS serve
+	// geographically disparate users).
+	ResolversPerISP int
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig() Config {
+	return Config{Seed: 31, ZipfExponent: 1.1, PublicResolverFrac: 0.25, ResolversPerISP: 1}
+}
+
+// Build creates one UG per (stub AS, metro presence) pair in the
+// topology, assigns Zipf traffic weights (shuffled so weight does not
+// correlate with ASN), and assigns each UG a recursive resolver: its
+// ISP's resolver (serving that ISP's customers everywhere, hence
+// geographically disparate populations) or one of a handful of public
+// resolvers.
+func Build(g *topology.Graph, cfg Config) (*Set, error) {
+	if cfg.ZipfExponent <= 0 {
+		return nil, fmt.Errorf("usergroup: ZipfExponent must be positive")
+	}
+	if cfg.ResolversPerISP < 1 {
+		return nil, fmt.Errorf("usergroup: need >=1 resolver per ISP")
+	}
+	rng := stats.NewRand(cfg.Seed)
+
+	var ugs []UG
+	var id ID
+	for _, n := range g.ASNs() {
+		a := g.AS(n)
+		if a.Tier != topology.TierStub {
+			continue
+		}
+		for _, mc := range a.Metros {
+			m, err := geo.MetroByCode(mc)
+			if err != nil {
+				return nil, fmt.Errorf("usergroup: AS %v: %w", n, err)
+			}
+			ugs = append(ugs, UG{ID: id, ASN: n, Metro: mc, Coord: m.Coord})
+			id++
+		}
+	}
+	if len(ugs) == 0 {
+		return nil, fmt.Errorf("usergroup: topology has no stub ASes")
+	}
+
+	// Zipf weights assigned in shuffled order.
+	weights := stats.ZipfWeights(len(ugs), cfg.ZipfExponent)
+	perm := rng.Perm(len(ugs))
+	for i := range ugs {
+		ugs[i].Weight = weights[perm[i]]
+	}
+
+	// Resolver catalog: per-ISP pools (hosted at the ISP's first listed
+	// metro) plus 3 public resolvers.
+	var resolvers []Resolver
+	var rid ResolverID
+	ispResolvers := make(map[topology.ASN][]ResolverID)
+	for _, n := range g.ASNs() {
+		a := g.AS(n)
+		if a.Kind != topology.KindTransit || len(a.Metros) == 0 {
+			continue
+		}
+		for k := 0; k < cfg.ResolversPerISP; k++ {
+			resolvers = append(resolvers, Resolver{ID: rid, Metro: a.Metros[0]})
+			ispResolvers[n] = append(ispResolvers[n], rid)
+			rid++
+		}
+	}
+	publicMetros := []string{"ash", "fra", "sin"}
+	var publicIDs []ResolverID
+	for _, pm := range publicMetros {
+		resolvers = append(resolvers, Resolver{ID: rid, Metro: pm, Public: true})
+		publicIDs = append(publicIDs, rid)
+		rid++
+	}
+
+	for i := range ugs {
+		if rng.Float64() < cfg.PublicResolverFrac {
+			ugs[i].Resolver = publicIDs[rng.Intn(len(publicIDs))]
+			continue
+		}
+		// Use the resolver of one of the UG's ISPs.
+		provs := g.AS(ugs[i].ASN).Providers
+		var pool []ResolverID
+		if len(provs) > 0 {
+			pool = ispResolvers[provs[rng.Intn(len(provs))]]
+		}
+		if len(pool) == 0 {
+			// AS with no transit resolver: fall back to a public one.
+			ugs[i].Resolver = publicIDs[rng.Intn(len(publicIDs))]
+			continue
+		}
+		ugs[i].Resolver = pool[rng.Intn(len(pool))]
+	}
+
+	return newSet(ugs, resolvers), nil
+}
+
+func newSet(ugs []UG, resolvers []Resolver) *Set {
+	s := &Set{
+		UGs:       ugs,
+		Resolvers: resolvers,
+		byID:      make(map[ID]*UG, len(ugs)),
+		byRes:     make(map[ResolverID][]ID),
+	}
+	for i := range s.UGs {
+		u := &s.UGs[i]
+		s.byID[u.ID] = u
+		s.byRes[u.Resolver] = append(s.byRes[u.Resolver], u.ID)
+	}
+	return s
+}
+
+// Subset returns a new Set containing only the UGs accepted by keep,
+// with weights renormalized to sum to 1. The resolver catalog is shared.
+func (s *Set) Subset(keep func(UG) bool) *Set {
+	var ugs []UG
+	var total float64
+	for _, u := range s.UGs {
+		if keep(u) {
+			ugs = append(ugs, u)
+			total += u.Weight
+		}
+	}
+	if total > 0 {
+		for i := range ugs {
+			ugs[i].Weight /= total
+		}
+	}
+	return newSet(ugs, s.Resolvers)
+}
+
+// Get returns the UG with the given ID (nil if absent).
+func (s *Set) Get(id ID) *UG { return s.byID[id] }
+
+// Len returns the number of UGs.
+func (s *Set) Len() int { return len(s.UGs) }
+
+// TotalWeight returns the sum of weights (≈1 for a full Build).
+func (s *Set) TotalWeight() float64 {
+	var t float64
+	for _, u := range s.UGs {
+		t += u.Weight
+	}
+	return t
+}
+
+// ByResolver returns the UG IDs served by a resolver.
+func (s *Set) ByResolver(r ResolverID) []ID { return s.byRes[r] }
+
+// ResolverOf returns the resolver record for a UG.
+func (s *Set) ResolverOf(id ID) (Resolver, error) {
+	u := s.byID[id]
+	if u == nil {
+		return Resolver{}, fmt.Errorf("usergroup: unknown UG %d", id)
+	}
+	for _, r := range s.Resolvers {
+		if r.ID == u.Resolver {
+			return r, nil
+		}
+	}
+	return Resolver{}, fmt.Errorf("usergroup: UG %d references unknown resolver %d", id, u.Resolver)
+}
+
+// TopByWeight returns the n heaviest UGs (descending weight).
+func (s *Set) TopByWeight(n int) []UG {
+	out := append([]UG(nil), s.UGs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// CoveringWeight returns the smallest count k such that the k heaviest
+// UGs carry at least frac of total weight — used to pick the "99% of
+// traffic" working set (Appendix C).
+func (s *Set) CoveringWeight(frac float64) int {
+	top := s.TopByWeight(len(s.UGs))
+	total := s.TotalWeight()
+	var acc float64
+	for i, u := range top {
+		acc += u.Weight
+		if acc >= frac*total {
+			return i + 1
+		}
+	}
+	return len(top)
+}

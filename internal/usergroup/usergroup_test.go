@@ -1,0 +1,177 @@
+package usergroup
+
+import (
+	"math"
+	"testing"
+
+	"painter/internal/topology"
+)
+
+func testSet(t *testing.T) (*Set, *topology.Graph) {
+	t.Helper()
+	g, err := topology.Generate(topology.GenConfig{Seed: 15, Tier1: 4, Tier2: 20, Stubs: 200,
+		MeanStubProviders: 2.3, Tier2PeerProb: 0.3, EnterpriseFrac: 0.4, ContentFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestBuildCoversAllStubPresences(t *testing.T) {
+	s, g := testSet(t)
+	want := 0
+	for _, n := range g.ASNs() {
+		a := g.AS(n)
+		if a.Tier == topology.TierStub {
+			want += len(a.Metros)
+		}
+	}
+	if s.Len() != want {
+		t.Errorf("UGs = %d, want %d (one per stub-AS metro presence)", s.Len(), want)
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	s, _ := testSet(t)
+	if tw := s.TotalWeight(); math.Abs(tw-1) > 1e-9 {
+		t.Errorf("total weight = %v, want 1", tw)
+	}
+	for _, u := range s.UGs {
+		if u.Weight <= 0 {
+			t.Errorf("UG %d has non-positive weight", u.ID)
+		}
+	}
+}
+
+func TestWeightsSkewed(t *testing.T) {
+	s, _ := testSet(t)
+	top := s.TopByWeight(s.Len() / 10)
+	var topSum float64
+	for _, u := range top {
+		topSum += u.Weight
+	}
+	// Zipf(1.1): top 10% of UGs should carry a large share of traffic.
+	if topSum < 0.3 {
+		t.Errorf("top 10%% of UGs carry %.2f of traffic, want >0.3 (Zipf skew)", topSum)
+	}
+}
+
+func TestResolverAssignment(t *testing.T) {
+	s, _ := testSet(t)
+	public, local := 0, 0
+	for _, u := range s.UGs {
+		r, err := s.ResolverOf(u.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Public {
+			public++
+		} else {
+			local++
+		}
+	}
+	frac := float64(public) / float64(s.Len())
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("public resolver fraction = %.2f, want ~0.25", frac)
+	}
+}
+
+func TestByResolverPartition(t *testing.T) {
+	s, _ := testSet(t)
+	total := 0
+	for _, r := range s.Resolvers {
+		ids := s.ByResolver(r.ID)
+		total += len(ids)
+		for _, id := range ids {
+			if s.Get(id).Resolver != r.ID {
+				t.Errorf("UG %d in wrong resolver bucket", id)
+			}
+		}
+	}
+	if total != s.Len() {
+		t.Errorf("resolver buckets hold %d UGs, want %d", total, s.Len())
+	}
+}
+
+func TestSubsetRenormalizes(t *testing.T) {
+	s, _ := testSet(t)
+	half := s.Subset(func(u UG) bool { return u.ID%2 == 0 })
+	if half.Len() == 0 || half.Len() >= s.Len() {
+		t.Fatalf("subset size %d of %d", half.Len(), s.Len())
+	}
+	if tw := half.TotalWeight(); math.Abs(tw-1) > 1e-9 {
+		t.Errorf("subset total weight = %v, want 1", tw)
+	}
+	// Empty subset keeps zero weight without dividing by zero.
+	empty := s.Subset(func(UG) bool { return false })
+	if empty.Len() != 0 || empty.TotalWeight() != 0 {
+		t.Error("empty subset wrong")
+	}
+}
+
+func TestTopByWeightOrdered(t *testing.T) {
+	s, _ := testSet(t)
+	top := s.TopByWeight(20)
+	if len(top) != 20 {
+		t.Fatalf("TopByWeight(20) = %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Weight > top[i-1].Weight {
+			t.Error("TopByWeight not descending")
+		}
+	}
+}
+
+func TestCoveringWeight(t *testing.T) {
+	s, _ := testSet(t)
+	n99 := s.CoveringWeight(0.99)
+	n50 := s.CoveringWeight(0.50)
+	if n50 >= n99 {
+		t.Errorf("covering 50%% (%d) should need fewer UGs than 99%% (%d)", n50, n99)
+	}
+	if n99 > s.Len() {
+		t.Errorf("covering count %d exceeds population %d", n99, s.Len())
+	}
+	// With Zipf skew, 99% of traffic needs notably less than 100% of UGs.
+	if n99 == s.Len() {
+		t.Logf("note: 99%% coverage required all %d UGs", n99)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	_, g := testSet(t)
+	a, err := Build(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.UGs {
+		if a.UGs[i] != b.UGs[i] {
+			t.Fatalf("UG %d differs across builds", i)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	_, g := testSet(t)
+	if _, err := Build(g, Config{Seed: 1, ZipfExponent: 0, ResolversPerISP: 1}); err == nil {
+		t.Error("zero Zipf exponent should fail")
+	}
+	if _, err := Build(g, Config{Seed: 1, ZipfExponent: 1, ResolversPerISP: 0}); err == nil {
+		t.Error("zero resolvers per ISP should fail")
+	}
+	empty := topology.NewGraph()
+	if _, err := Build(empty, DefaultConfig()); err == nil {
+		t.Error("empty topology should fail")
+	}
+}
