@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet test race bench bench-json experiments examples clean
 
 all: build vet test
 
@@ -16,10 +16,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/
+	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark the dense propagation engine against the reference oracle at
+# ScaleSmall and record the numbers (ns/op, allocs/op, speedup).
+bench-json:
+	$(GO) run ./cmd/benchprop -out BENCH_PROPAGATE.json
 
 # Regenerate every table/figure at prototype (PEERING) scale.
 experiments:

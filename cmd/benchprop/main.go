@@ -1,0 +1,115 @@
+// Command benchprop benchmarks the dense route-propagation engine
+// (bgp.Propagate) against the retained map-based oracle
+// (bgp.PropagateReference) on the ScaleSmall evaluation environment and
+// writes the comparison to a JSON file (`make bench-json` →
+// BENCH_PROPAGATE.json), tracking the perf trajectory across PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"painter/internal/bgp"
+	"painter/internal/experiments"
+)
+
+// Result records one engine's benchmark numbers.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the BENCH_PROPAGATE.json schema.
+type Report struct {
+	Scale      string  `json:"scale"`
+	Seed       int64   `json:"seed"`
+	ASes       int     `json:"ases"`
+	Peerings   int     `json:"peerings"`
+	Dense      Result  `json:"dense"`
+	Reference  Result  `json:"reference"`
+	Speedup    float64 `json:"speedup"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PROPAGATE.json", "output file")
+	seed := flag.Int64("seed", 7, "environment seed")
+	flag.Parse()
+
+	env, err := experiments.NewEnv(experiments.ScaleSmall, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	inj, err := env.Deploy.Injections(env.Deploy.AllPeeringIDs())
+	if err != nil {
+		fatal(err)
+	}
+	env.Graph.Index() // pre-build the shared index, as in steady state
+
+	run := func(f func() error) Result {
+		// Warm tie-breaker caches so both engines measure propagation,
+		// not first-touch geography hashing.
+		if err := f(); err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return Result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	tb := env.World.TieBreaker()
+	dense := run(func() error {
+		_, err := bgp.Propagate(env.Graph, inj, tb)
+		return err
+	})
+	tbRef := env.World.TieBreaker()
+	ref := run(func() error {
+		_, err := bgp.PropagateReference(env.Graph, inj, tbRef)
+		return err
+	})
+
+	rep := Report{
+		Scale:      "small",
+		Seed:       *seed,
+		ASes:       env.Graph.Len(),
+		Peerings:   len(env.Deploy.Peerings),
+		Dense:      dense,
+		Reference:  ref,
+		Speedup:    ref.NsPerOp / dense.NsPerOp,
+		AllocRatio: float64(ref.AllocsPerOp) / float64(dense.AllocsPerOp),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dense:     %10.0f ns/op  %6d allocs/op  %8d B/op\n",
+		dense.NsPerOp, dense.AllocsPerOp, dense.BytesPerOp)
+	fmt.Printf("reference: %10.0f ns/op  %6d allocs/op  %8d B/op\n",
+		ref.NsPerOp, ref.AllocsPerOp, ref.BytesPerOp)
+	fmt.Printf("speedup %.2fx, %.1fx fewer allocs → %s\n", rep.Speedup, rep.AllocRatio, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchprop:", err)
+	os.Exit(1)
+}

@@ -8,7 +8,6 @@ package bgp
 
 import (
 	"fmt"
-	"sort"
 
 	"painter/internal/topology"
 )
@@ -108,6 +107,126 @@ func MinIngressTieBreaker(_ topology.ASN, candidates []Route) int {
 	return best
 }
 
+// validateInjections shares input validation between the dense engine
+// and the reference implementation.
+func validateInjections(g *topology.Graph, injections []Injection) error {
+	for _, inj := range injections {
+		if !g.Has(inj.Neighbor) {
+			return fmt.Errorf("bgp: injection neighbor %v not in topology", inj.Neighbor)
+		}
+		if inj.Ingress < 0 {
+			return fmt.Errorf("bgp: invalid ingress id %d", inj.Ingress)
+		}
+		if inj.Prepend < 0 || inj.Prepend > 16 {
+			return fmt.Errorf("bgp: prepend %d out of range [0,16]", inj.Prepend)
+		}
+	}
+	return nil
+}
+
+// denseCand is one pending candidate route at a dense AS id. Path
+// length is implied by the bucket holding the candidate and the route
+// class by the propagation phase, so only 12 bytes move through the
+// queue and its sorts. via is a dense id; dense ids ascend with ASN, so
+// sorting by via is sorting by the neighbor's ASN.
+type denseCand struct {
+	as  int32
+	ing int32
+	via int32
+}
+
+// sortCands orders candidates by (as, ing, via) — grouping each AS's
+// candidates contiguously, already in the deterministic order the
+// TieBreaker contract requires. Hand-specialized (insertion sort under
+// a median-of-three quicksort) because sort.Slice's reflection-based
+// swapper dominated the propagation profile.
+func sortCands(e []denseCand) {
+	for len(e) > 12 {
+		// Median-of-three pivot, moved to e[0].
+		m := len(e) / 2
+		lo, hi := 0, len(e)-1
+		if candLess(e[m], e[lo]) {
+			e[m], e[lo] = e[lo], e[m]
+		}
+		if candLess(e[hi], e[lo]) {
+			e[hi], e[lo] = e[lo], e[hi]
+		}
+		if candLess(e[hi], e[m]) {
+			e[hi], e[m] = e[m], e[hi]
+		}
+		e[0], e[m] = e[m], e[0]
+		p := e[0]
+		i, j := 1, len(e)-1
+		for {
+			for i <= j && candLess(e[i], p) {
+				i++
+			}
+			for i <= j && candLess(p, e[j]) {
+				j--
+			}
+			if i > j {
+				break
+			}
+			e[i], e[j] = e[j], e[i]
+			i++
+			j--
+		}
+		e[0], e[j] = e[j], e[0]
+		// Recurse on the smaller half, loop on the larger.
+		if j < len(e)-j-1 {
+			sortCands(e[:j])
+			e = e[j+1:]
+		} else {
+			sortCands(e[j+1:])
+			e = e[:j]
+		}
+	}
+	for i := 1; i < len(e); i++ {
+		for k := i; k > 0 && candLess(e[k], e[k-1]); k-- {
+			e[k], e[k-1] = e[k-1], e[k]
+		}
+	}
+}
+
+func candLess(a, b denseCand) bool {
+	if a.as != b.as {
+		return a.as < b.as
+	}
+	if a.ing != b.ing {
+		return a.ing < b.ing
+	}
+	return a.via < b.via
+}
+
+// bucketQueue holds pending candidates bucketed by path length, the
+// dense replacement for the reference engine's map[int]map[ASN][]Route
+// level maps. Buckets grow on demand and backing arrays are reused
+// across phases; each bucket is processed exactly once.
+type bucketQueue struct {
+	buckets [][]denseCand
+}
+
+func (q *bucketQueue) add(pathLen int, c denseCand) {
+	for len(q.buckets) <= pathLen {
+		if len(q.buckets) < cap(q.buckets) {
+			// Re-extend over a retained bucket, keeping its capacity.
+			q.buckets = q.buckets[:len(q.buckets)+1]
+			q.buckets[len(q.buckets)-1] = q.buckets[len(q.buckets)-1][:0]
+		} else {
+			q.buckets = append(q.buckets, nil)
+		}
+	}
+	q.buckets[pathLen] = append(q.buckets[pathLen], c)
+}
+
+// reset empties the queue for the next phase, retaining backing arrays.
+func (q *bucketQueue) reset() {
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.buckets = q.buckets[:0]
+}
+
 // Propagate computes the route every AS selects for one prefix announced
 // via the given injections, honoring valley-free export rules:
 //
@@ -119,227 +238,160 @@ func MinIngressTieBreaker(_ topology.ASN, candidates []Route) int {
 // Selection is class-first, then shortest path, then the tie-breaker.
 // The returned map contains an entry for every AS that has any route.
 //
-// The implementation runs the classic three-phase BFS (up the customer
-// hierarchy, across one peer hop, down to customers), which yields the
-// same result as iterating the BGP decision process to convergence on a
-// policy-annotated graph.
+// The engine runs the classic three-phase BFS (up the customer
+// hierarchy, across one peer hop, down to customers) over the graph's
+// dense index: selection state lives in flat arrays indexed by dense AS
+// id, and pending candidates sit in a bucket queue keyed by path length.
+// PropagateReference is the retained map-based original; the two select
+// identical routes under any tie-breaker (see the differential tests).
 func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[topology.ASN]Route, error) {
 	if tb == nil {
 		tb = MinIngressTieBreaker
 	}
-	for _, inj := range injections {
-		if !g.Has(inj.Neighbor) {
-			return nil, fmt.Errorf("bgp: injection neighbor %v not in topology", inj.Neighbor)
-		}
-		if inj.Ingress < 0 {
-			return nil, fmt.Errorf("bgp: invalid ingress id %d", inj.Ingress)
-		}
-		if inj.Prepend < 0 || inj.Prepend > 16 {
-			return nil, fmt.Errorf("bgp: prepend %d out of range [0,16]", inj.Prepend)
-		}
+	if err := validateInjections(g, injections); err != nil {
+		return nil, err
 	}
 
-	selected := make(map[topology.ASN]Route)
+	idx := g.Index()
+	n := idx.Len()
+	sel := make([]Route, n)
+	settled := make([]bool, n)
+	settledCount := 0
 
-	settle := func(as topology.ASN, cands []Route) Route {
-		// Deterministic candidate order so tie-breakers see a stable view.
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].Ingress != cands[j].Ingress {
-				return cands[i].Ingress < cands[j].Ingress
+	// scratch collects one AS's tied candidates for the tie-breaker; it
+	// is reused across every settle to keep the engine allocation-free
+	// on the hot path.
+	scratch := make([]Route, 0, 16)
+
+	// settleBucket settles every not-yet-settled AS that has candidates
+	// in ents, all of which share pathLen (the bucket key) and class
+	// (the phase). One sortCands per bucket groups each AS's candidates
+	// contiguously, already in the deterministic (ingress, via) order
+	// the TieBreaker contract requires; the group IS the tied-candidate
+	// set. export (optional) is invoked once per newly settled AS.
+	settleBucket := func(ents []denseCand, pathLen int, class RouteClass, export func(as int32, r Route)) {
+		if len(ents) == 0 {
+			return
+		}
+		sortCands(ents)
+		for s := 0; s < len(ents); {
+			e := s
+			for e < len(ents) && ents[e].as == ents[s].as {
+				e++
 			}
-			return cands[i].Via < cands[j].Via
-		})
-		r := cands[tb(as, cands)]
-		selected[as] = r
-		return r
+			as := ents[s].as
+			if !settled[as] {
+				scratch = scratch[:0]
+				for k := s; k < e; k++ {
+					scratch = append(scratch, Route{
+						Ingress: IngressID(ents[k].ing),
+						PathLen: pathLen,
+						Class:   class,
+						Via:     idx.ASN(ents[k].via),
+					})
+				}
+				r := scratch[tb(idx.ASN(as), scratch)]
+				sel[as] = r
+				settled[as] = true
+				settledCount++
+				if export != nil {
+					export(as, r)
+				}
+			}
+			s = e
+		}
 	}
 
 	// --- Phase 1: customer routes propagate up provider chains.
-	// Level-synchronous BFS keyed by path length (prepending makes
-	// starting lengths differ across injections).
-	levels := make(map[int]map[topology.ASN][]Route)
-	addLevel := func(l int, as topology.ASN, r Route) {
-		m := levels[l]
-		if m == nil {
-			m = make(map[topology.ASN][]Route)
-			levels[l] = m
-		}
-		m[as] = append(m[as], r)
-	}
-	maxLevel := 0
+	var q bucketQueue
 	for _, inj := range injections {
 		if inj.Class != ClassCustomer {
 			continue
 		}
-		l := 1 + inj.Prepend
-		addLevel(l, inj.Neighbor, Route{
-			Ingress: inj.Ingress, PathLen: l, Class: ClassCustomer, Via: inj.Neighbor,
-		})
-		if l > maxLevel {
-			maxLevel = l
+		ni, _ := idx.ID(inj.Neighbor)
+		q.add(1+inj.Prepend, denseCand{as: ni, ing: int32(inj.Ingress), via: ni})
+	}
+	exportUp := func(as int32, r Route) {
+		for _, p := range idx.Providers(as) {
+			if !settled[p] {
+				q.add(r.PathLen+1, denseCand{as: p, ing: int32(r.Ingress), via: as})
+			}
 		}
 	}
-	for l := 1; l <= maxLevel; l++ {
-		m := levels[l]
-		if m == nil {
-			continue
-		}
-		// Settle this level in deterministic ASN order.
-		for _, as := range sortedKeys(m) {
-			if _, done := selected[as]; done {
-				continue
-			}
-			r := settle(as, m[as])
-			// Export customer route to providers (stay in phase 1).
-			for _, p := range g.AS(as).Providers {
-				if _, done := selected[p]; !done {
-					addLevel(r.PathLen+1, p, Route{
-						Ingress: r.Ingress, PathLen: r.PathLen + 1, Class: ClassCustomer, Via: as,
-					})
-					if r.PathLen+1 > maxLevel {
-						maxLevel = r.PathLen + 1
-					}
-				}
-			}
-		}
-		delete(levels, l)
+	for l := 1; l < len(q.buckets); l++ {
+		settleBucket(q.buckets[l], l, ClassCustomer, exportUp)
+		q.buckets[l] = q.buckets[l][:0]
 	}
 
-	// --- Phase 2: one hop across peer links.
-	// Sources: all ASes settled with a customer route, plus direct peer
-	// injections.
-	peerCands := make(map[topology.ASN][]Route)
+	// --- Phase 2: one hop across peer links. Sources: all ASes settled
+	// with a customer route, plus direct peer injections. No further
+	// export, so all candidates are enqueued before any settling; the
+	// ascending bucket scan realizes the settle-at-min-path-length rule.
+	q.reset()
 	for _, inj := range injections {
 		if inj.Class != ClassPeer {
 			continue
 		}
-		if _, done := selected[inj.Neighbor]; done {
+		ni, _ := idx.ID(inj.Neighbor)
+		if settled[ni] {
 			continue
 		}
-		peerCands[inj.Neighbor] = append(peerCands[inj.Neighbor], Route{
-			Ingress: inj.Ingress, PathLen: 1 + inj.Prepend, Class: ClassPeer, Via: inj.Neighbor,
-		})
+		q.add(1+inj.Prepend, denseCand{as: ni, ing: int32(inj.Ingress), via: ni})
 	}
-	for _, as := range sortedKeys(selected) {
-		r := selected[as]
-		if r.Class != ClassCustomer {
+	for as := int32(0); as < int32(n); as++ {
+		if !settled[as] || sel[as].Class != ClassCustomer {
 			continue
 		}
-		for _, p := range g.AS(as).Peers {
-			if _, done := selected[p]; !done {
-				peerCands[p] = append(peerCands[p], Route{
-					Ingress: r.Ingress, PathLen: r.PathLen + 1, Class: ClassPeer, Via: as,
-				})
+		r := sel[as]
+		for _, p := range idx.Peers(as) {
+			if !settled[p] {
+				q.add(r.PathLen+1, denseCand{as: p, ing: int32(r.Ingress), via: as})
 			}
 		}
 	}
-	// Settle peer routes by shortest path length.
-	settleByLen(peerCands, selected, settle)
+	for l := 1; l < len(q.buckets); l++ {
+		settleBucket(q.buckets[l], l, ClassPeer, nil)
+		q.buckets[l] = q.buckets[l][:0]
+	}
 
-	// --- Phase 3: routes propagate down provider→customer edges.
-	// Dijkstra-like by path length; sources are all settled ASes plus
-	// provider-class injections.
-	down := make(map[topology.ASN][]Route)
+	// --- Phase 3: routes propagate down provider→customer edges,
+	// Dijkstra-like by path length via the bucket queue. Sources are all
+	// settled ASes plus provider-class injections.
+	q.reset()
 	for _, inj := range injections {
 		if inj.Class != ClassProvider {
 			continue
 		}
-		if _, done := selected[inj.Neighbor]; done {
+		ni, _ := idx.ID(inj.Neighbor)
+		if settled[ni] {
 			continue
 		}
-		down[inj.Neighbor] = append(down[inj.Neighbor], Route{
-			Ingress: inj.Ingress, PathLen: 1 + inj.Prepend, Class: ClassProvider, Via: inj.Neighbor,
-		})
+		q.add(1+inj.Prepend, denseCand{as: ni, ing: int32(inj.Ingress), via: ni})
 	}
-	// Frontier: settled ASes exporting to their customers.
-	frontier := sortedKeys(selected)
-	for _, as := range frontier {
-		r := selected[as]
-		for _, c := range g.AS(as).Customers {
-			if _, done := selected[c]; !done {
-				down[c] = append(down[c], Route{
-					Ingress: r.Ingress, PathLen: r.PathLen + 1, Class: ClassProvider, Via: as,
-				})
+	exportDown := func(as int32, r Route) {
+		for _, c := range idx.Customers(as) {
+			if !settled[c] {
+				q.add(r.PathLen+1, denseCand{as: c, ing: int32(r.Ingress), via: as})
 			}
 		}
 	}
-	// Iteratively settle the shortest unsettled candidates and export
-	// further down.
-	for len(down) > 0 {
-		// Find minimum pending path length.
-		minLen := -1
-		for _, cands := range down {
-			for _, c := range cands {
-				if minLen == -1 || c.PathLen < minLen {
-					minLen = c.PathLen
-				}
-			}
+	for as := int32(0); as < int32(n); as++ {
+		if settled[as] {
+			exportDown(as, sel[as])
 		}
-		next := make(map[topology.ASN][]Route)
-		for _, as := range sortedKeys(down) {
-			cands := down[as]
-			if _, done := selected[as]; done {
-				continue
-			}
-			var atMin []Route
-			var later []Route
-			for _, c := range cands {
-				if c.PathLen == minLen {
-					atMin = append(atMin, c)
-				} else {
-					later = append(later, c)
-				}
-			}
-			if len(atMin) == 0 {
-				next[as] = later
-				continue
-			}
-			r := settle(as, atMin)
-			for _, cu := range g.AS(as).Customers {
-				if _, done := selected[cu]; !done {
-					next[cu] = append(next[cu], Route{
-						Ingress: r.Ingress, PathLen: r.PathLen + 1, Class: ClassProvider, Via: as,
-					})
-				}
-			}
-		}
-		down = next
+	}
+	for l := 1; l < len(q.buckets); l++ {
+		settleBucket(q.buckets[l], l, ClassProvider, exportDown)
+		q.buckets[l] = q.buckets[l][:0]
 	}
 
-	return selected, nil
-}
-
-// settleByLen settles candidates class-tied routes by increasing path
-// length (peer phase helper). No further export happens here.
-func settleByLen(cands map[topology.ASN][]Route, selected map[topology.ASN]Route, settle func(topology.ASN, []Route) Route) {
-	for _, as := range sortedKeys(cands) {
-		if _, done := selected[as]; done {
-			continue
+	out := make(map[topology.ASN]Route, settledCount)
+	for i := int32(0); i < int32(n); i++ {
+		if settled[i] {
+			out[idx.ASN(i)] = sel[i]
 		}
-		cs := cands[as]
-		minLen := cs[0].PathLen
-		for _, c := range cs[1:] {
-			if c.PathLen < minLen {
-				minLen = c.PathLen
-			}
-		}
-		var atMin []Route
-		for _, c := range cs {
-			if c.PathLen == minLen {
-				atMin = append(atMin, c)
-			}
-		}
-		settle(as, atMin)
 	}
-}
-
-func sortedKeys[V any](m map[topology.ASN]V) []topology.ASN {
-	out := make([]topology.ASN, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // ReachableIngresses computes, for one AS, the set of ingresses it could
@@ -355,94 +407,100 @@ func sortedKeys[V any](m map[topology.ASN]V) []topology.ASN {
 // (pure down from n = pure up from s), or (b) s can go up to some AS x
 // that peers with an AS y that has n in its customer cone, or (c) s can
 // go up to an AS that has n in its customer cone.
+//
+// The walk runs over the graph's dense index with flat visited arrays
+// (an epoch stamp avoids reallocating between injections).
 func ReachableIngresses(g *topology.Graph, src topology.ASN, injections []Injection) map[IngressID]bool {
 	out := make(map[IngressID]bool)
-	if !g.Has(src) {
+	idx := g.Index()
+	s, ok := idx.ID(src)
+	if !ok {
 		return out
 	}
-	// upSet: src and every AS reachable from src following provider links.
-	upSet := make(map[topology.ASN]bool)
-	stack := []topology.ASN{src}
-	upSet[src] = true
+	n := idx.Len()
+
+	// inUp: src and every AS reachable from src following provider links.
+	// inPeer: ASes adjacent via one peer hop from any AS in inUp.
+	inUp := make([]bool, n)
+	inPeer := make([]bool, n)
+	stack := make([]int32, 0, 64)
+	stack = append(stack, s)
+	inUp[s] = true
 	for len(stack) > 0 {
-		n := stack[len(stack)-1]
+		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range g.AS(n).Providers {
-			if !upSet[p] {
-				upSet[p] = true
+		for _, p := range idx.Providers(cur) {
+			if !inUp[p] {
+				inUp[p] = true
 				stack = append(stack, p)
 			}
 		}
 	}
-	// peerSet: ASes adjacent via one peer hop from any AS in upSet.
-	peerSet := make(map[topology.ASN]bool)
-	for x := range upSet {
-		for _, p := range g.AS(x).Peers {
-			peerSet[p] = true
+	for x := int32(0); x < int32(n); x++ {
+		if !inUp[x] {
+			continue
+		}
+		for _, p := range idx.Peers(x) {
+			inPeer[p] = true
 		}
 	}
+
+	// seen is epoch-stamped so the per-injection cone BFS reuses it.
+	seen := make([]int32, n)
+	epoch := int32(0)
 
 	for _, inj := range injections {
 		if out[inj.Ingress] {
 			continue
 		}
-		n := inj.Neighbor
-		// The traffic direction is src -> n -> cloud. Valley-free from
-		// src: up through providers, optionally one peer hop, then down
-		// through customers to n... but n must then carry the traffic to
-		// the cloud, which it will (it learned the route per its class).
-		// However, export rules constrain which ASes ever HEAR the route:
+		ni, _ := idx.ID(inj.Neighbor)
+		// The traffic direction is src -> n -> cloud. Export rules
+		// constrain which ASes ever HEAR the route:
 		//   - customer-class injections (n is cloud's transit provider)
 		//     propagate everywhere;
 		//   - peer/provider-class injections propagate only down n's
 		//     customer cone.
 		switch inj.Class {
 		case ClassCustomer:
-			// Route is exported up from n, across peers, and down: any AS
-			// with a valley-free walk to n can use it. That walk exists
-			// iff n in upSet (src goes straight up to n), n in peerSet
-			// (up then one peer hop), or n's cone intersects upSet/peerSet
-			// (up, maybe peer, then down into n).
-			if upSet[n] || peerSet[n] {
+			// Any AS with a valley-free walk to n can use it: n in inUp
+			// (straight up), n in inPeer (up then one peer hop), or some
+			// transitive provider of n in inUp∪inPeer (up, maybe peer,
+			// then down into n). The last case BFSes up from n.
+			if inUp[ni] || inPeer[ni] {
 				out[inj.Ingress] = true
 				continue
 			}
-			if coneIntersects(g, n, upSet, peerSet) {
+			epoch++
+			stack = stack[:0]
+			stack = append(stack, ni)
+			seen[ni] = epoch
+			found := false
+			for len(stack) > 0 && !found {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if inUp[cur] || inPeer[cur] {
+					found = true
+					break
+				}
+				for _, p := range idx.Providers(cur) {
+					if seen[p] != epoch {
+						seen[p] = epoch
+						stack = append(stack, p)
+					}
+				}
+			}
+			if found {
 				out[inj.Ingress] = true
 			}
 		default:
 			// Peer- and provider-class routes are exported only to
 			// customers, so the route is heard exactly by n and n's
-			// customer cone. (Cone membership is transitive, so "src's
-			// provider chain enters the cone" is already equivalent to
-			// src being in the cone.)
-			if g.InCone(n, src) {
+			// customer cone; src is in that cone iff n is src itself or
+			// one of src's transitive providers — i.e., n ∈ inUp.
+			if inUp[ni] {
 				out[inj.Ingress] = true
 			}
 		}
 	}
 	return out
-}
-
-// coneIntersects reports whether some walk top x in upSet∪peerSet has n
-// in its customer cone, i.e., the valley-free walk can descend from x to
-// n. Equivalently: some transitive provider of n is in upSet∪peerSet, so
-// we BFS up from n through provider links and test set membership.
-func coneIntersects(g *topology.Graph, n topology.ASN, upSet, peerSet map[topology.ASN]bool) bool {
-	seen := map[topology.ASN]bool{n: true}
-	queue := []topology.ASN{n}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if upSet[cur] || peerSet[cur] {
-			return true
-		}
-		for _, p := range g.AS(cur).Providers {
-			if !seen[p] {
-				seen[p] = true
-				queue = append(queue, p)
-			}
-		}
-	}
-	return false
 }

@@ -1,0 +1,152 @@
+package core
+
+// Tests for the parallel per-prefix execution path: observation order
+// and values must be independent of goroutine scheduling, and the
+// worker pool must surface errors deterministically. Run under -race in
+// CI (`make race`).
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"painter/internal/advertise"
+	"painter/internal/bgp"
+)
+
+// executeConfig builds a Config spreading the deployment's peerings
+// across several prefixes, with overlap so the resolve cache is shared.
+func executeConfig(b *testBench, prefixes int) Config {
+	all := b.world.Deploy.AllPeeringIDs()
+	cfg := Config{}
+	for p := 0; p < prefixes; p++ {
+		var ids []bgp.IngressID
+		for i, id := range all {
+			if i%prefixes == p || i%(prefixes+1) == p {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			ids = all[:1]
+		}
+		cfg.Prefixes = append(cfg.Prefixes, ids)
+	}
+	return cfg
+}
+
+func TestExecuteParallelDeterministic(t *testing.T) {
+	b := newBench(t, 61)
+	exec := NewWorldExecutor(b.world, b.ugs, 0.5, 17)
+	cfg := executeConfig(b, 6)
+
+	first, err := exec.Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("no observations")
+	}
+	// Observations must be prefix-major and in UG order within a prefix,
+	// exactly as the serial loop produced them.
+	for i := 1; i < len(first); i++ {
+		if first[i].Prefix < first[i-1].Prefix {
+			t.Fatalf("observation %d out of prefix order: %d after %d", i, first[i].Prefix, first[i-1].Prefix)
+		}
+	}
+	for run := 0; run < 3; run++ {
+		again, err := exec.Execute(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d observations, want %d", run, len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("run %d: observation %d = %+v, want %+v (scheduling-dependent output)",
+					run, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+func TestExecutePropagatesLowestPrefixError(t *testing.T) {
+	b := newBench(t, 62)
+	exec := NewWorldExecutor(b.world, b.ugs, 0, 1)
+	bad := bgp.IngressID(1 << 20) // unknown peering: Injections fails
+	cfg := Config{Prefixes: [][]bgp.IngressID{
+		b.world.Deploy.AllPeeringIDs(),
+		{bad},
+		{bad},
+	}}
+	_, err := exec.Execute(cfg)
+	if err == nil {
+		t.Fatal("expected error for unknown peering")
+	}
+	// The serial loop would have failed on prefix 1 first.
+	if want := "prefix 1"; !containsStr(err.Error(), want) {
+		t.Errorf("error %q does not name the lowest failing prefix (%s)", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEvaluateParallelDeterministic(t *testing.T) {
+	b := newBench(t, 63)
+	cfg := advertise.OnePerPoP(b.world.Deploy, 8)
+	first, err := Evaluate(b.world, b.ugs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := Evaluate(b.world, b.ugs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Benefit != again.Benefit || first.PossibleBenefit != again.PossibleBenefit ||
+			first.ImprovedUGs != again.ImprovedUGs {
+			t.Fatalf("run %d: Evaluate diverged: %+v vs %+v", run, again, first)
+		}
+		for id, v := range first.PerUG {
+			if again.PerUG[id] != v {
+				t.Fatalf("run %d: UG %d improvement %v, want %v", run, id, again.PerUG[id], v)
+			}
+		}
+	}
+}
+
+func TestParallelForCoversAllIndicesAndErrors(t *testing.T) {
+	hit := make([]int32, 1000)
+	if err := parallelFor(len(hit), func(i int) error {
+		hit[i]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+	// Lowest-index error wins regardless of scheduling.
+	wantErr := fmt.Errorf("boom-3")
+	err := parallelFor(100, func(i int) error {
+		if i == 3 || i == 97 {
+			return fmt.Errorf("boom-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if err := parallelFor(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}

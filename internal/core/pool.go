@@ -1,0 +1,56 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(0..n-1) on a bounded pool of min(GOMAXPROCS, n)
+// workers and waits for all of them. Indices are handed out dynamically,
+// so uneven per-index cost still load-balances. If any calls fail, the
+// error for the lowest index is returned — the same error a serial loop
+// would surface first — keeping failure behaviour deterministic.
+//
+// fn must be safe for concurrent invocation; writes it makes should go
+// to index-disjoint slots so callers can reassemble results in order.
+func parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

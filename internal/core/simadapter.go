@@ -22,23 +22,32 @@ type WorldExecutor struct {
 	// MeasureNoiseMs adds bounded measurement noise to reported
 	// latencies (min-of-7-pings residue). 0 = exact.
 	MeasureNoiseMs float64
-	rng            func() float64
+	seed           int64
 }
 
 // NewWorldExecutor creates an executor over a world and UG set.
 func NewWorldExecutor(w *netsim.World, ugs *usergroup.Set, noiseMs float64, seed int64) *WorldExecutor {
-	r := stats.NewRand(seed)
-	return &WorldExecutor{World: w, UGs: ugs, MeasureNoiseMs: noiseMs, rng: r.Float64}
+	return &WorldExecutor{World: w, UGs: ugs, MeasureNoiseMs: noiseMs, seed: seed}
 }
 
-// Execute implements Executor.
+// Execute implements Executor. Prefixes are resolved and measured in
+// parallel on a bounded worker pool; observations are returned in the
+// same deterministic order as a serial loop (prefix-major, then UG
+// order), and measurement noise is drawn from a per-prefix RNG seeded by
+// (executor seed, prefix index) so results do not depend on scheduling.
 func (e *WorldExecutor) Execute(cfg Config) ([]Observation, error) {
-	var obs []Observation
-	for pi, peerings := range cfg.Prefixes {
+	perPrefix := make([][]Observation, len(cfg.Prefixes))
+	err := parallelFor(len(cfg.Prefixes), func(pi int) error {
+		peerings := cfg.Prefixes[pi]
 		sel, err := e.World.ResolveIngress(peerings)
 		if err != nil {
-			return nil, fmt.Errorf("core: resolve prefix %d: %w", pi, err)
+			return fmt.Errorf("core: resolve prefix %d: %w", pi, err)
 		}
+		var rng func() float64
+		if e.MeasureNoiseMs > 0 {
+			rng = stats.NewRand(e.seed + 0x9e3779b9*int64(pi+1)).Float64
+		}
+		obs := make([]Observation, 0, e.UGs.Len())
 		for _, ug := range e.UGs.UGs {
 			r, ok := sel[ug.ASN]
 			if !ok {
@@ -46,15 +55,28 @@ func (e *WorldExecutor) Execute(cfg Config) ([]Observation, error) {
 			}
 			ms, err := e.World.LatencyMs(ug.ASN, ug.Metro, r.Ingress)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if e.MeasureNoiseMs > 0 {
-				ms += e.rng() * e.MeasureNoiseMs
+				ms += rng() * e.MeasureNoiseMs
 			}
 			obs = append(obs, Observation{UG: ug.ID, Prefix: pi, Ingress: r.Ingress, LatencyMs: ms})
 		}
+		perPrefix[pi] = obs
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return obs, nil
+	total := 0
+	for _, o := range perPrefix {
+		total += len(o)
+	}
+	out := make([]Observation, 0, total)
+	for _, o := range perPrefix {
+		out = append(out, o...)
+	}
+	return out, nil
 }
 
 // AnycastLatencies resolves the implicit anycast prefix (all peerings)
@@ -162,14 +184,17 @@ func Evaluate(w *netsim.World, ugs *usergroup.Set, cfg advertise.Config) (EvalRe
 		PerUG:        make(map[usergroup.ID]float64, ugs.Len()),
 		PerUGLatency: make(map[usergroup.ID]float64, ugs.Len()),
 	}
-	// Resolve each prefix once.
-	sels := make([]map[topology.ASN]bgp.Route, 0, len(cfg.Prefixes))
-	for _, peerings := range cfg.Prefixes {
-		sel, err := w.ResolveIngress(peerings)
+	// Resolve each prefix once, in parallel across the worker pool.
+	sels := make([]map[topology.ASN]bgp.Route, len(cfg.Prefixes))
+	if err := parallelFor(len(cfg.Prefixes), func(i int) error {
+		sel, err := w.ResolveIngress(cfg.Prefixes[i])
 		if err != nil {
-			return EvalResult{}, err
+			return err
 		}
-		sels = append(sels, sel)
+		sels[i] = sel
+		return nil
+	}); err != nil {
+		return EvalResult{}, err
 	}
 	for _, ug := range ugs.UGs {
 		base, ok := anyLat[ug.ID]

@@ -20,7 +20,10 @@
 package netsim
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
+	"sync"
 
 	"math"
 
@@ -31,7 +34,13 @@ import (
 )
 
 // World is an immutable-topology, time-evolving network simulator.
-// Methods are safe for concurrent use except AdvanceTo/SetDay.
+//
+// Concurrency contract: all query methods (LatencyMs, BaseLatencyMs,
+// PathFailed, ResolveIngress, PolicyCompliant, BestIngressLatency,
+// TieBreaker and the tie-breaker it returns) are safe for concurrent
+// use. The time-advancing methods SetDay and AdvanceTo are NOT: they
+// must not run concurrently with any query (advance the clock between
+// query waves, as the Fig. 7 drift experiment does).
 type World struct {
 	Graph  *topology.Graph
 	Deploy *cloud.Deployment
@@ -49,12 +58,60 @@ type World struct {
 	// transit caches whether each peering is via a transit provider.
 	transit map[bgp.IngressID]bool
 
-	// ancestors[n] is n plus its transitive providers, for fast
-	// policy-compliance checks.
-	ancestors map[topology.ASN]map[topology.ASN]bool
 	// asHome is each AS's primary location (first metro), used for the
 	// hot-potato bias in route tie-breaking.
 	asHome map[topology.ASN]geo.Coord
+
+	// resolveMu guards the propagation cache: ResolveIngress results
+	// keyed by the canonical (sorted) peering set plus the world day.
+	// SetDay/AdvanceTo drop the cache wholesale.
+	resolveMu    sync.Mutex
+	resolveCache map[string]*resolveEntry
+	resolveHits  uint64
+	resolveMiss  uint64
+
+	// prefMu guards the hidden-preference cache: prefScore is pure per
+	// (AS, ingress, day) and called for every tie-break candidate, so
+	// memoizing it takes the geographic math off the propagation hot
+	// path. SetDay/AdvanceTo drop it alongside the propagation cache.
+	prefMu    sync.RWMutex
+	prefCache map[prefKey]float64
+
+	// polMu guards the structural (day-independent) caches below.
+	polMu sync.Mutex
+	// ancestors[n] is n plus its transitive providers, for fast
+	// policy-compliance checks.
+	ancestors map[topology.ASN]map[topology.ASN]bool
+	// policy memoizes PolicyCompliant per ASN (shared maps; the public
+	// accessor returns copies).
+	policy map[topology.ASN]map[bgp.IngressID]bool
+	// bestIng memoizes BestIngressLatency per (ASN, metro).
+	bestIng map[bestKey]bestVal
+}
+
+// resolveEntry is one propagation-cache slot. The sync.Once lets
+// concurrent first callers of the same key share a single Propagate run
+// without holding resolveMu for its duration.
+type resolveEntry struct {
+	once sync.Once
+	sel  map[topology.ASN]bgp.Route
+	err  error
+}
+
+type prefKey struct {
+	as  topology.ASN
+	ing bgp.IngressID
+}
+
+type bestKey struct {
+	asn   topology.ASN
+	metro string
+}
+
+type bestVal struct {
+	ms  float64
+	ing bgp.IngressID
+	err error
 }
 
 // Config tunes the synthetic network behaviour.
@@ -82,6 +139,12 @@ type Config struct {
 	// specific ingress (the unpredictable routing the orchestrator must
 	// learn).
 	PrefOverrideProb float64
+	// RouteDriftProb is the per-day probability that an (AS, ingress)
+	// hidden preference is transiently re-rolled, making route selection
+	// itself drift across days (§5.1.2 / Fig. 7: paths change over time,
+	// not just their latencies). Day 0 never drifts, so steady-state
+	// resolution is unaffected.
+	RouteDriftProb float64
 }
 
 // DefaultConfig returns the tuning used across the evaluation.
@@ -97,6 +160,7 @@ func DefaultConfig() Config {
 		FailPenaltyMs:     120,
 		DriftMs:           2.5,
 		PrefOverrideProb:  0.10,
+		RouteDriftProb:    0.05,
 	}
 }
 
@@ -120,6 +184,11 @@ func NewWithConfig(g *topology.Graph, d *cloud.Deployment, seed int64, cfg Confi
 		peerASNOf: make(map[bgp.IngressID]topology.ASN, len(d.Peerings)),
 		transit:   make(map[bgp.IngressID]bool, len(d.Peerings)),
 		ancestors: make(map[topology.ASN]map[topology.ASN]bool),
+
+		resolveCache: make(map[string]*resolveEntry),
+		prefCache:    make(map[prefKey]float64),
+		policy:       make(map[topology.ASN]map[bgp.IngressID]bool),
+		bestIng:      make(map[bestKey]bestVal),
 	}
 	for _, pr := range d.Peerings {
 		pop := d.PoP(pr.PoP)
@@ -149,8 +218,29 @@ func NewWithConfig(g *topology.Graph, d *cloud.Deployment, seed int64, cfg Confi
 func (w *World) Day() int { return w.day }
 
 // SetDay moves the world to an absolute day (used by the Fig. 7 drift
-// experiment). Not safe concurrently with queries.
-func (w *World) SetDay(d int) { w.day = d }
+// experiment) and drops the propagation cache, since hidden preferences
+// drift with the day. Not safe concurrently with queries.
+func (w *World) SetDay(d int) {
+	if d == w.day {
+		return
+	}
+	w.day = d
+	w.resolveMu.Lock()
+	w.resolveCache = make(map[string]*resolveEntry)
+	w.resolveMu.Unlock()
+	w.prefMu.Lock()
+	w.prefCache = make(map[prefKey]float64)
+	w.prefMu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to day d (no-op if d is not later
+// than the current day). Like SetDay it invalidates the propagation
+// cache and must not run concurrently with queries.
+func (w *World) AdvanceTo(d int) {
+	if d > w.day {
+		w.SetDay(d)
+	}
+}
 
 // --- Deterministic hashing -------------------------------------------------
 
@@ -185,6 +275,10 @@ const (
 	domFail
 	domPref
 	domPrefOverride
+	// Appended after the original tags so their values — and therefore
+	// every pre-existing deterministic draw — are unchanged.
+	domRouteDrift
+	domRouteDriftVal
 )
 
 // --- Latency model ----------------------------------------------------------
@@ -278,12 +372,26 @@ func metroKey(metro string) uint64 {
 // in this world. Preferences are stable per (AS, ingress) and unknown to
 // the orchestrator; a fraction of ASes additionally hold strong
 // overriding preferences for specific ingresses.
+//
+// Each returned closure carries a private lock-free score memo in front
+// of the world-level cache, so it is NOT safe for concurrent use: obtain
+// a separate TieBreaker per goroutine. (World's own query methods do.)
 func (w *World) TieBreaker() bgp.TieBreaker {
+	local := make(map[prefKey]float64)
+	score := func(as topology.ASN, ing bgp.IngressID) float64 {
+		k := prefKey{as: as, ing: ing}
+		if s, ok := local[k]; ok {
+			return s
+		}
+		s := w.prefScore(as, ing)
+		local[k] = s
+		return s
+	}
 	return func(as topology.ASN, cands []bgp.Route) int {
 		best := 0
-		bestScore := w.prefScore(as, cands[0].Ingress)
+		bestScore := score(as, cands[0].Ingress)
 		for i := 1; i < len(cands); i++ {
-			if s := w.prefScore(as, cands[i].Ingress); s < bestScore {
+			if s := score(as, cands[i].Ingress); s < bestScore {
 				best, bestScore = i, s
 			}
 		}
@@ -291,14 +399,36 @@ func (w *World) TieBreaker() bgp.TieBreaker {
 	}
 }
 
-// prefScore is the hidden preference (lower is preferred). Real ASes
+// prefScore memoizes prefScoreUncached per (AS, ingress): the score is
+// deterministic for a given day, and tie-breaking evaluates it for every
+// candidate at every AS, so the cache removes repeated geographic math
+// from the propagation hot path. SetDay/AdvanceTo reset it.
+func (w *World) prefScore(as topology.ASN, ing bgp.IngressID) float64 {
+	k := prefKey{as: as, ing: ing}
+	w.prefMu.RLock()
+	s, ok := w.prefCache[k]
+	w.prefMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = w.prefScoreUncached(as, ing)
+	w.prefMu.Lock()
+	if w.prefCache == nil {
+		w.prefCache = make(map[prefKey]float64)
+	}
+	w.prefCache[k] = s
+	w.prefMu.Unlock()
+	return s
+}
+
+// prefScoreUncached is the hidden preference (lower is preferred). Real ASes
 // break ties hot-potato: they hand traffic off at the geographically
 // nearest interconnection (lowest IGP cost), so the score is dominated
 // by distance from the AS's home to the ingress PoP, perturbed by
 // per-(AS, ingress) noise. A fraction of pairs hold strong overrides
 // that defy geography entirely — the "New York prefers Amsterdam"
 // routing the orchestrator must learn (§5.1.2).
-func (w *World) prefScore(as topology.ASN, ing bgp.IngressID) float64 {
+func (w *World) prefScoreUncached(as topology.ASN, ing bgp.IngressID) float64 {
 	noise := unit(w.h64(domPref, uint64(as), uint64(ing)))
 	s := noise
 	if home, ok := w.asHome[as]; ok {
@@ -310,27 +440,91 @@ func (w *World) prefScore(as topology.ASN, ing bgp.IngressID) float64 {
 	if unit(w.h64(domPrefOverride, uint64(as), uint64(ing))) < w.cfg.PrefOverrideProb {
 		s *= 0.02
 	}
+	// Daily route drift: a small fraction of (AS, ingress) preferences
+	// are transiently re-rolled each day, so the route an AS selects can
+	// change day over day (Fig. 7). Day 0 is the undrifted steady state.
+	if w.day != 0 && w.cfg.RouteDriftProb > 0 {
+		dk := uint64(w.day)
+		if unit(w.h64(domRouteDrift, uint64(as), uint64(ing), dk)) < w.cfg.RouteDriftProb {
+			s = unit(w.h64(domRouteDriftVal, uint64(as), uint64(ing), dk))
+		}
+	}
 	return s
 }
 
 // ResolveIngress propagates one prefix advertised via the given peerings
 // and returns the ingress each AS selects. ASes with no policy-compliant
 // route are absent from the map.
+//
+// Results are memoized per (canonical peering set, world day): the
+// peering slice is sorted into a canonical key, so permuted-but-equal
+// slices hit the same cache entry. SetDay/AdvanceTo invalidate the
+// cache. The returned map is shared with the cache — callers must treat
+// it as read-only.
 func (w *World) ResolveIngress(peerings []bgp.IngressID) (map[topology.ASN]bgp.Route, error) {
-	inj, err := w.Deploy.Injections(peerings)
-	if err != nil {
-		return nil, err
+	sorted := make([]bgp.IngressID, len(peerings))
+	copy(sorted, peerings)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	key := resolveKey(w.day, sorted)
+
+	w.resolveMu.Lock()
+	if w.resolveCache == nil {
+		w.resolveCache = make(map[string]*resolveEntry)
 	}
-	return bgp.Propagate(w.Graph, inj, w.TieBreaker())
+	e, ok := w.resolveCache[key]
+	if ok {
+		w.resolveHits++
+	} else {
+		w.resolveMiss++
+		e = &resolveEntry{}
+		w.resolveCache[key] = e
+	}
+	w.resolveMu.Unlock()
+
+	// Propagation order is immaterial to the result (candidates are
+	// sorted before tie-breaking), so resolving from the canonical slice
+	// is equivalent to resolving from the caller's order.
+	e.once.Do(func() {
+		inj, err := w.Deploy.Injections(sorted)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.sel, e.err = bgp.Propagate(w.Graph, inj, w.TieBreaker())
+	})
+	return e.sel, e.err
+}
+
+// resolveKey builds the canonical propagation-cache key: the world day
+// followed by the sorted peering IDs, byte-encoded.
+func resolveKey(day int, sorted []bgp.IngressID) string {
+	b := make([]byte, 8+4*len(sorted))
+	binary.LittleEndian.PutUint64(b, uint64(int64(day)))
+	for i, id := range sorted {
+		binary.LittleEndian.PutUint32(b[8+4*i:], uint32(id))
+	}
+	return string(b)
+}
+
+// ResolveCacheStats reports propagation-cache hits and misses since the
+// world was created (invalidation does not reset the counters).
+func (w *World) ResolveCacheStats() (hits, misses uint64) {
+	w.resolveMu.Lock()
+	defer w.resolveMu.Unlock()
+	return w.resolveHits, w.resolveMiss
 }
 
 // --- Policy compliance --------------------------------------------------------
 
-// ancestorsOf returns n plus its transitive providers (cached).
+// ancestorsOf returns n plus its transitive providers (cached under
+// polMu; the returned set is shared and must not be modified).
 func (w *World) ancestorsOf(n topology.ASN) map[topology.ASN]bool {
+	w.polMu.Lock()
 	if a, ok := w.ancestors[n]; ok {
+		w.polMu.Unlock()
 		return a
 	}
+	w.polMu.Unlock()
 	set := map[topology.ASN]bool{n: true}
 	stack := []topology.ASN{n}
 	for len(stack) > 0 {
@@ -343,18 +537,45 @@ func (w *World) ancestorsOf(n topology.ASN) map[topology.ASN]bool {
 			}
 		}
 	}
+	w.polMu.Lock()
 	w.ancestors[n] = set
+	w.polMu.Unlock()
 	return set
 }
 
 // PolicyCompliant returns the set of deployment peerings through which
 // the given AS has any policy-compliant (valley-free) path to the cloud.
 // It is equivalent to bgp.ReachableIngresses over all peerings but uses
-// cached ancestor sets for speed.
+// cached ancestor sets for speed. Results are memoized per ASN (the
+// topology and deployment are immutable); the returned map is a fresh
+// copy the caller may modify.
 func (w *World) PolicyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error) {
+	shared, err := w.policyCompliant(asn)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[bgp.IngressID]bool, len(shared))
+	for k, v := range shared {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// policyCompliant is the memoized core of PolicyCompliant. The returned
+// map is shared with the cache and must be treated as read-only.
+func (w *World) policyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error) {
 	if !w.Graph.Has(asn) {
 		return nil, fmt.Errorf("netsim: unknown AS %v", asn)
 	}
+	w.polMu.Lock()
+	if w.policy == nil {
+		w.policy = make(map[topology.ASN]map[bgp.IngressID]bool)
+	}
+	if c, ok := w.policy[asn]; ok {
+		w.polMu.Unlock()
+		return c, nil
+	}
+	w.polMu.Unlock()
 	up := w.ancestorsOf(asn)
 	// upPeer: up ∪ peers(up).
 	upPeer := make(map[topology.ASN]bool, len(up)*3)
@@ -384,15 +605,37 @@ func (w *World) PolicyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error
 			}
 		}
 	}
+	w.polMu.Lock()
+	w.policy[asn] = out
+	w.polMu.Unlock()
 	return out, nil
 }
 
 // BestIngressLatency returns the minimum base latency over the AS's
 // policy-compliant ingresses — the best any advertisement strategy could
 // ever deliver to this UG (the "One per Peering gives all the benefit"
-// upper bound of §5.1.2).
+// upper bound of §5.1.2). Results are memoized per (ASN, metro): base
+// latency is day-independent, so the cache never needs invalidating.
 func (w *World) BestIngressLatency(asn topology.ASN, metro string) (float64, bgp.IngressID, error) {
-	pc, err := w.PolicyCompliant(asn)
+	k := bestKey{asn: asn, metro: metro}
+	w.polMu.Lock()
+	if w.bestIng == nil {
+		w.bestIng = make(map[bestKey]bestVal)
+	}
+	if v, ok := w.bestIng[k]; ok {
+		w.polMu.Unlock()
+		return v.ms, v.ing, v.err
+	}
+	w.polMu.Unlock()
+	ms, ing, err := w.bestIngressLatency(asn, metro)
+	w.polMu.Lock()
+	w.bestIng[k] = bestVal{ms: ms, ing: ing, err: err}
+	w.polMu.Unlock()
+	return ms, ing, err
+}
+
+func (w *World) bestIngressLatency(asn topology.ASN, metro string) (float64, bgp.IngressID, error) {
+	pc, err := w.policyCompliant(asn)
 	if err != nil {
 		return 0, bgp.InvalidIngress, err
 	}

@@ -13,6 +13,9 @@ type Graph struct {
 	rel map[ASN]map[ASN]Relationship
 
 	sortedASNs []ASN
+
+	// idxState caches the dense Index (see index.go).
+	idxState indexState
 }
 
 // NewGraph creates an empty topology graph.
@@ -36,6 +39,7 @@ func (g *Graph) AddAS(a *AS) error {
 	g.ases[a.ASN] = &cp
 	g.rel[a.ASN] = make(map[ASN]Relationship)
 	g.sortedASNs = nil
+	g.invalidateIndex()
 	return nil
 }
 
@@ -70,6 +74,7 @@ func (g *Graph) Link(a, b ASN, rel Relationship) error {
 		asA.Peers = append(asA.Peers, b)
 		asB.Peers = append(asB.Peers, a)
 	}
+	g.invalidateIndex()
 	return nil
 }
 

@@ -1,0 +1,94 @@
+package topology
+
+import "testing"
+
+func indexGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for _, n := range []ASN{5, 1, 9, 3} {
+		if err := g.AddAS(&AS{ASN: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Link(1, 3, RelCustomer); err != nil { // 3 is 1's customer
+		t.Fatal(err)
+	}
+	if err := g.Link(3, 5, RelCustomer); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Link(1, 9, RelPeer); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIndexDenseIDsAscendWithASN(t *testing.T) {
+	g := indexGraph(t)
+	x := g.Index()
+	if x.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", x.Len())
+	}
+	prev := ASN(0)
+	for i := int32(0); i < int32(x.Len()); i++ {
+		n := x.ASN(i)
+		if n <= prev && i > 0 {
+			t.Fatalf("dense ids not ascending by ASN: id %d is %v after %v", i, n, prev)
+		}
+		prev = n
+		back, ok := x.ID(n)
+		if !ok || back != i {
+			t.Fatalf("ID(ASN(%d)) = %d,%v", i, back, ok)
+		}
+	}
+}
+
+func TestIndexAdjacencyMatchesGraph(t *testing.T) {
+	g := indexGraph(t)
+	x := g.Index()
+	for _, n := range g.ASNs() {
+		i, _ := x.ID(n)
+		a := g.AS(n)
+		check := func(kind string, want []ASN, got []int32) {
+			if len(want) != len(got) {
+				t.Fatalf("AS %v %s: %d entries, want %d", n, kind, len(got), len(want))
+			}
+			for k, d := range got {
+				if x.ASN(d) != want[k] {
+					t.Fatalf("AS %v %s[%d] = %v, want %v", n, kind, k, x.ASN(d), want[k])
+				}
+			}
+		}
+		check("providers", a.Providers, x.Providers(i))
+		check("peers", a.Peers, x.Peers(i))
+		check("customers", a.Customers, x.Customers(i))
+	}
+}
+
+func TestIndexSharedAndInvalidatedByMutation(t *testing.T) {
+	g := indexGraph(t)
+	a := g.Index()
+	if b := g.Index(); a != b {
+		t.Fatal("Index not shared between calls on an unmodified graph")
+	}
+	if err := g.AddAS(&AS{ASN: 42}); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Index()
+	if c == a {
+		t.Fatal("Index not invalidated by AddAS")
+	}
+	if c.Len() != 5 {
+		t.Fatalf("rebuilt index Len = %d, want 5", c.Len())
+	}
+	if err := g.Link(42, 9, RelPeer); err != nil {
+		t.Fatal(err)
+	}
+	d := g.Index()
+	if d == c {
+		t.Fatal("Index not invalidated by Link")
+	}
+	i42, _ := d.ID(42)
+	if len(d.Peers(i42)) != 1 {
+		t.Fatalf("new link missing from rebuilt index")
+	}
+}
