@@ -2,7 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json experiments examples clean
+# Packages with a per-package coverage floor (enforced by `make cover`).
+COVER_PKGS = painter/internal/netsim painter/internal/tm painter/internal/chaos
+COVER_FLOOR = 70
+
+# Native fuzz targets smoke-tested by `make fuzz` (one -fuzz per run).
+FUZZ_TIME ?= 10s
+
+.PHONY: all build vet test race fuzz cover bench bench-json experiments examples clean
 
 all: build vet test
 
@@ -12,11 +19,33 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order every run, flushing out hidden
+# inter-test state; failures print the shuffle seed for replay.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/
+	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/
+
+# Short fuzzing smoke on the wire decoders: each target runs for
+# FUZZ_TIME (go test allows one -fuzz pattern per invocation).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZ_TIME) ./internal/tmproto/
+	$(GO) test -run='^$$' -fuzz=FuzzParseUpdate -fuzztime=$(FUZZ_TIME) ./internal/bgp/
+	$(GO) test -run='^$$' -fuzz=FuzzParseOpen -fuzztime=$(FUZZ_TIME) ./internal/bgp/
+	$(GO) test -run='^$$' -fuzz=FuzzParseNotification -fuzztime=$(FUZZ_TIME) ./internal/bgp/
+	$(GO) test -run='^$$' -fuzz=FuzzParseHeader -fuzztime=$(FUZZ_TIME) ./internal/bgp/
+
+# Coverage with a per-package floor for the failure-handling core.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic $(COVER_PKGS)
+	@$(GO) test -cover $(COVER_PKGS) 2>/dev/null | awk -v floor=$(COVER_FLOOR) ' \
+		/coverage:/ { \
+			pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+			if (pct + 0 < floor) { printf "FAIL: %s below %s%% coverage floor\n", $$2, floor; bad = 1 } \
+			else { printf "ok: %s %s%%\n", $$2, pct } \
+		} \
+		END { exit bad }'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -38,3 +67,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment id (fig3, fig6a, fig6b, fig6c, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig14, fig15a, fig15b, ablations, validation, all)")
+		expName = flag.String("exp", "all", "experiment id (fig3, fig6a, fig6b, fig6c, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig14, fig15a, fig15b, chaos, ablations, validation, all)")
 		scale   = flag.String("scale", "peering", "environment scale: small, peering, azure")
 		seed    = flag.Int64("seed", 7, "world seed")
 		iters   = flag.Int("iters", 2, "orchestrator learning iterations")
@@ -75,7 +75,7 @@ func main() {
 
 	needEnv := false
 	for _, n := range []string{"fig6a", "fig6b", "fig6c", "fig7", "fig9a", "fig9b",
-		"fig11a", "fig11b", "fig12a", "fig12b", "fig14", "fig15a", "fig15b", "ablations", "validation"} {
+		"fig11a", "fig11b", "fig12a", "fig12b", "fig14", "fig15a", "fig15b", "chaos", "ablations", "validation"} {
 		if want(n) {
 			needEnv = true
 		}
@@ -208,6 +208,16 @@ func main() {
 				return err
 			}
 			fmt.Println(experiments.Fig15aTable(rows))
+			return nil
+		})
+	}
+	if want("chaos") {
+		timed("chaos", func() error {
+			res, err := experiments.RunChaosFailover(env, experiments.ChaosFailoverConfig{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Table())
 			return nil
 		})
 	}

@@ -127,7 +127,7 @@ func TestPolicyCompliantReturnsIsolatedCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := len(a)
-	a[bgp.IngressID(1 << 20)] = true // caller-side mutation
+	a[bgp.IngressID(1<<20)] = true // caller-side mutation
 	b, err := w.PolicyCompliant(asn)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,433 @@
+package netsim
+
+// Event/hook layer: the dynamic fault overlay on an otherwise
+// immutable-topology World. ApplyEvent mutates the overlay (peering and
+// PoP failures, latency spikes, probe loss, hidden-preference flips) and
+// invalidates exactly the cached answers the event can change — never
+// the whole cache:
+//
+//   - Peering/PoP down/up: ResolveIngress filters failed peerings out of
+//     the canonical key, so propagation-cache entries keyed with a down
+//     ingress are simply unreachable while it is down and valid again on
+//     recovery — no resolve invalidation is needed. BestIngressLatency
+//     entries are dropped only when the event can change their answer:
+//     on failure, entries whose cached winner is the failed ingress; on
+//     recovery, entries the recovered ingress could now win (it is
+//     policy-compliant for the AS and at least ties the cached best).
+//   - Hidden-preference flips drop the single (AS, ingress) preference
+//     memo entry plus the propagation-cache entries whose peering set
+//     contains that ingress — tie-breaks elsewhere cannot see the flip.
+//   - Latency spikes and probe loss never alter route selection, so no
+//     route or preference cache is touched. Spikes surface in LatencyMs;
+//     probe loss is metadata for the Traffic Manager substrate bridge.
+//
+// Like SetDay/AdvanceTo, ApplyEvent must not run concurrently with
+// queries (apply events between query waves); Subscribe/notify are
+// internally locked.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"painter/internal/bgp"
+	"painter/internal/cloud"
+	"painter/internal/topology"
+)
+
+// EventKind discriminates world events.
+type EventKind uint8
+
+// World event kinds.
+const (
+	// EventPeeringDown withdraws one peering: routes can no longer enter
+	// the cloud through it (link failure / prefix withdrawal).
+	EventPeeringDown EventKind = iota + 1
+	// EventPeeringUp restores a failed peering.
+	EventPeeringUp
+	// EventPoPDown fails every peering at a PoP (site outage).
+	EventPoPDown
+	// EventPoPUp restores a failed PoP.
+	EventPoPUp
+	// EventLatencySpike adds Ms milliseconds to every path through the
+	// ingress (Ms <= 0 clears the spike).
+	EventLatencySpike
+	// EventProbeLoss sets the probe-loss percentage on the ingress for
+	// the Traffic Manager substrate (Pct <= 0 clears it).
+	EventProbeLoss
+	// EventPrefFlip re-rolls the hidden preference one AS holds for one
+	// ingress — the catchment-shifting routing change the orchestrator
+	// cannot predict.
+	EventPrefFlip
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventPeeringDown:
+		return "peering-down"
+	case EventPeeringUp:
+		return "peering-up"
+	case EventPoPDown:
+		return "pop-down"
+	case EventPoPUp:
+		return "pop-up"
+	case EventLatencySpike:
+		return "latency-spike"
+	case EventProbeLoss:
+		return "probe-loss"
+	case EventPrefFlip:
+		return "pref-flip"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one world state change. Only the fields its kind reads are
+// meaningful: Ingress for peering-scoped kinds (and the ingress of a
+// PrefFlip), PoP for PoP outages, AS for PrefFlip, Ms for spikes, Pct
+// for probe loss. Seq is assigned by ApplyEvent in application order.
+type Event struct {
+	Kind    EventKind
+	Ingress bgp.IngressID
+	PoP     cloud.PoPID
+	AS      topology.ASN
+	Ms      float64
+	Pct     int
+	Seq     uint64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventPeeringDown, EventPeeringUp:
+		return fmt.Sprintf("%v ing=%d", e.Kind, e.Ingress)
+	case EventPoPDown, EventPoPUp:
+		return fmt.Sprintf("%v pop=%d", e.Kind, e.PoP)
+	case EventLatencySpike:
+		return fmt.Sprintf("%v ing=%d ms=%.1f", e.Kind, e.Ingress, e.Ms)
+	case EventProbeLoss:
+		return fmt.Sprintf("%v ing=%d pct=%d", e.Kind, e.Ingress, e.Pct)
+	case EventPrefFlip:
+		return fmt.Sprintf("%v as=%d ing=%d", e.Kind, e.AS, e.Ingress)
+	default:
+		return e.Kind.String()
+	}
+}
+
+type subscriber struct {
+	id int
+	fn func(Event)
+}
+
+// Subscribe registers a hook invoked synchronously, in registration
+// order, for every successfully applied event. The returned cancel
+// function removes the subscription.
+func (w *World) Subscribe(fn func(Event)) (cancel func()) {
+	w.subMu.Lock()
+	w.subNext++
+	id := w.subNext
+	w.subs = append(w.subs, subscriber{id: id, fn: fn})
+	w.subMu.Unlock()
+	return func() {
+		w.subMu.Lock()
+		for i, s := range w.subs {
+			if s.id == id {
+				w.subs = append(w.subs[:i], w.subs[i+1:]...)
+				break
+			}
+		}
+		w.subMu.Unlock()
+	}
+}
+
+func (w *World) notify(ev Event) {
+	w.subMu.Lock()
+	subs := append([]subscriber(nil), w.subs...)
+	w.subMu.Unlock()
+	for _, s := range subs {
+		s.fn(ev)
+	}
+}
+
+// ApplyEvent applies one event to the world, invalidates exactly the
+// cached answers the event can change, and notifies subscribers. It
+// returns an error (and notifies nobody) when the event references an
+// unknown peering, PoP, or AS. Not safe concurrently with queries.
+func (w *World) ApplyEvent(ev Event) error {
+	var wentDown, cameUp []bgp.IngressID
+
+	w.overlayMu.Lock()
+	switch ev.Kind {
+	case EventPeeringDown:
+		if w.Deploy.Peering(ev.Ingress) == nil {
+			w.overlayMu.Unlock()
+			return fmt.Errorf("netsim: unknown peering %d", ev.Ingress)
+		}
+		if !w.peeringDown[ev.Ingress] {
+			already := w.ingressDownLocked(ev.Ingress) // down via its PoP?
+			w.peeringDown[ev.Ingress] = true
+			if !already {
+				wentDown = append(wentDown, ev.Ingress)
+			}
+		}
+	case EventPeeringUp:
+		if w.Deploy.Peering(ev.Ingress) == nil {
+			w.overlayMu.Unlock()
+			return fmt.Errorf("netsim: unknown peering %d", ev.Ingress)
+		}
+		if w.peeringDown[ev.Ingress] {
+			delete(w.peeringDown, ev.Ingress)
+			if !w.ingressDownLocked(ev.Ingress) {
+				cameUp = append(cameUp, ev.Ingress)
+			}
+		}
+	case EventPoPDown:
+		if w.Deploy.PoP(ev.PoP) == nil {
+			w.overlayMu.Unlock()
+			return fmt.Errorf("netsim: unknown PoP %d", ev.PoP)
+		}
+		if !w.popDown[ev.PoP] {
+			for _, id := range w.Deploy.PeeringsAt(ev.PoP) {
+				if !w.ingressDownLocked(id) {
+					wentDown = append(wentDown, id)
+				}
+			}
+			w.popDown[ev.PoP] = true
+		}
+	case EventPoPUp:
+		if w.Deploy.PoP(ev.PoP) == nil {
+			w.overlayMu.Unlock()
+			return fmt.Errorf("netsim: unknown PoP %d", ev.PoP)
+		}
+		if w.popDown[ev.PoP] {
+			delete(w.popDown, ev.PoP)
+			for _, id := range w.Deploy.PeeringsAt(ev.PoP) {
+				if !w.ingressDownLocked(id) {
+					cameUp = append(cameUp, id)
+				}
+			}
+		}
+	case EventLatencySpike:
+		if w.Deploy.Peering(ev.Ingress) == nil {
+			w.overlayMu.Unlock()
+			return fmt.Errorf("netsim: unknown peering %d", ev.Ingress)
+		}
+		if ev.Ms > 0 {
+			w.spikeMs[ev.Ingress] = ev.Ms
+		} else {
+			delete(w.spikeMs, ev.Ingress)
+		}
+	case EventProbeLoss:
+		if w.Deploy.Peering(ev.Ingress) == nil {
+			w.overlayMu.Unlock()
+			return fmt.Errorf("netsim: unknown peering %d", ev.Ingress)
+		}
+		pct := ev.Pct
+		if pct > 100 {
+			pct = 100
+		}
+		if pct > 0 {
+			w.probeLoss[ev.Ingress] = pct
+		} else {
+			delete(w.probeLoss, ev.Ingress)
+		}
+	case EventPrefFlip:
+		if w.Deploy.Peering(ev.Ingress) == nil {
+			w.overlayMu.Unlock()
+			return fmt.Errorf("netsim: unknown peering %d", ev.Ingress)
+		}
+		if !w.Graph.Has(ev.AS) {
+			w.overlayMu.Unlock()
+			return fmt.Errorf("netsim: unknown AS %v", ev.AS)
+		}
+		w.prefFlips[prefKey{as: ev.AS, ing: ev.Ingress}]++
+	default:
+		w.overlayMu.Unlock()
+		return fmt.Errorf("netsim: unknown event kind %v", ev.Kind)
+	}
+	w.eventSeq++
+	ev.Seq = w.eventSeq
+	w.overlayMu.Unlock()
+
+	// Precise cache invalidation (see the package comment above).
+	if len(wentDown) > 0 {
+		w.invalidateBestForDown(wentDown)
+	}
+	if len(cameUp) > 0 {
+		w.invalidateBestForUp(cameUp)
+	}
+	if ev.Kind == EventPrefFlip {
+		k := prefKey{as: ev.AS, ing: ev.Ingress}
+		w.prefMu.Lock()
+		delete(w.prefCache, k)
+		w.prefMu.Unlock()
+		w.dropResolveContaining(ev.Ingress)
+	}
+
+	w.notify(ev)
+	return nil
+}
+
+// ingressDownLocked reports down-state; caller holds overlayMu (read or
+// write).
+func (w *World) ingressDownLocked(id bgp.IngressID) bool {
+	if w.peeringDown[id] {
+		return true
+	}
+	pop, ok := w.popOf[id]
+	return ok && w.popDown[pop]
+}
+
+// IngressDown reports whether a peering is currently failed, directly or
+// through a PoP outage.
+func (w *World) IngressDown(id bgp.IngressID) bool {
+	w.overlayMu.RLock()
+	defer w.overlayMu.RUnlock()
+	return w.ingressDownLocked(id)
+}
+
+// LatencySpikeMs returns the transient latency spike on an ingress (0
+// when none).
+func (w *World) LatencySpikeMs(id bgp.IngressID) float64 {
+	w.overlayMu.RLock()
+	defer w.overlayMu.RUnlock()
+	return w.spikeMs[id]
+}
+
+// ProbeLossPct returns the probe-loss percentage on an ingress (0 when
+// none) — consumed by the Traffic Manager substrate bridge, not by
+// route selection.
+func (w *World) ProbeLossPct(id bgp.IngressID) int {
+	w.overlayMu.RLock()
+	defer w.overlayMu.RUnlock()
+	return w.probeLoss[id]
+}
+
+// LiveIngresses returns the subset of ids that are not failed, in input
+// order, as a fresh slice.
+func (w *World) LiveIngresses(ids []bgp.IngressID) []bgp.IngressID {
+	out := make([]bgp.IngressID, 0, len(ids))
+	w.overlayMu.RLock()
+	defer w.overlayMu.RUnlock()
+	for _, id := range ids {
+		if !w.ingressDownLocked(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// filterLive drops failed peerings from sorted in place (sorted must be
+// caller-owned, e.g. ResolveIngress's canonical copy).
+func (w *World) filterLive(sorted []bgp.IngressID) []bgp.IngressID {
+	w.overlayMu.RLock()
+	defer w.overlayMu.RUnlock()
+	if len(w.peeringDown) == 0 && len(w.popDown) == 0 {
+		return sorted
+	}
+	live := sorted[:0]
+	for _, id := range sorted {
+		if !w.ingressDownLocked(id) {
+			live = append(live, id)
+		}
+	}
+	return live
+}
+
+// prefFlipCount returns how many times the (AS, ingress) hidden
+// preference has been flipped.
+func (w *World) prefFlipCount(k prefKey) uint64 {
+	w.overlayMu.RLock()
+	defer w.overlayMu.RUnlock()
+	return w.prefFlips[k]
+}
+
+// invalidateBestForDown drops BestIngressLatency memo entries whose
+// cached winner just failed; entries won by other ingresses are still
+// correct (removing a losing candidate cannot change a minimum).
+func (w *World) invalidateBestForDown(ids []bgp.IngressID) {
+	down := make(map[bgp.IngressID]bool, len(ids))
+	for _, id := range ids {
+		down[id] = true
+	}
+	w.polMu.Lock()
+	for k, v := range w.bestIng {
+		if v.err == nil && down[v.ing] {
+			delete(w.bestIng, k)
+		}
+	}
+	w.polMu.Unlock()
+}
+
+// invalidateBestForUp drops BestIngressLatency memo entries a recovered
+// ingress could now win: the ingress is policy-compliant for the entry's
+// AS and its base latency at least ties the cached best (or the entry
+// previously had no live compliant ingress at all).
+func (w *World) invalidateBestForUp(ids []bgp.IngressID) {
+	w.polMu.Lock()
+	keys := make([]bestKey, 0, len(w.bestIng))
+	vals := make([]bestVal, 0, len(w.bestIng))
+	for k, v := range w.bestIng {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	w.polMu.Unlock()
+
+	var stale []bestKey
+	for i, k := range keys {
+		pc, err := w.policyCompliant(k.asn)
+		if err != nil {
+			stale = append(stale, k)
+			continue
+		}
+		v := vals[i]
+		for _, id := range ids {
+			if !pc[id] {
+				continue
+			}
+			if v.err != nil {
+				stale = append(stale, k)
+				break
+			}
+			b, err := w.BaseLatencyMs(k.asn, k.metro, id)
+			if err != nil || b < v.ms || (b == v.ms && id < v.ing) {
+				stale = append(stale, k)
+				break
+			}
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	w.polMu.Lock()
+	for _, k := range stale {
+		delete(w.bestIng, k)
+	}
+	w.polMu.Unlock()
+}
+
+// dropResolveContaining removes propagation-cache entries whose peering
+// set contains the given ingress — the only entries a preference flip
+// involving that ingress can affect.
+func (w *World) dropResolveContaining(id bgp.IngressID) {
+	w.resolveMu.Lock()
+	for key := range w.resolveCache {
+		if resolveKeyContains(key, id) {
+			delete(w.resolveCache, key)
+		}
+	}
+	w.resolveMu.Unlock()
+}
+
+// resolveKeyContains decodes a propagation-cache key (day + sorted
+// peering ids, see resolveKey) and reports whether it contains id.
+func resolveKeyContains(key string, id bgp.IngressID) bool {
+	b := []byte(key)
+	if len(b) < 8 {
+		return false
+	}
+	for off := 8; off+4 <= len(b); off += 4 {
+		if bgp.IngressID(binary.LittleEndian.Uint32(b[off:])) == id {
+			return true
+		}
+	}
+	return false
+}

@@ -38,9 +38,10 @@ import (
 // Concurrency contract: all query methods (LatencyMs, BaseLatencyMs,
 // PathFailed, ResolveIngress, PolicyCompliant, BestIngressLatency,
 // TieBreaker and the tie-breaker it returns) are safe for concurrent
-// use. The time-advancing methods SetDay and AdvanceTo are NOT: they
-// must not run concurrently with any query (advance the clock between
-// query waves, as the Fig. 7 drift experiment does).
+// use. The state-changing methods SetDay, AdvanceTo, and ApplyEvent are
+// NOT: they must not run concurrently with any query (advance the clock
+// or apply events between query waves, as the Fig. 7 drift experiment
+// and the chaos engine do).
 type World struct {
 	Graph  *topology.Graph
 	Deploy *cloud.Deployment
@@ -87,6 +88,24 @@ type World struct {
 	policy map[topology.ASN]map[bgp.IngressID]bool
 	// bestIng memoizes BestIngressLatency per (ASN, metro).
 	bestIng map[bestKey]bestVal
+
+	// overlayMu guards the dynamic fault overlay (see events.go):
+	// failed peerings and PoPs, latency spikes, probe loss, and
+	// hidden-preference flips applied via ApplyEvent.
+	overlayMu   sync.RWMutex
+	peeringDown map[bgp.IngressID]bool
+	popDown     map[cloud.PoPID]bool
+	spikeMs     map[bgp.IngressID]float64
+	probeLoss   map[bgp.IngressID]int
+	prefFlips   map[prefKey]uint64
+	eventSeq    uint64
+	// popOf maps each peering to its PoP for outage checks.
+	popOf map[bgp.IngressID]cloud.PoPID
+
+	// subMu guards the event subscriber list.
+	subMu   sync.Mutex
+	subs    []subscriber
+	subNext int
 }
 
 // resolveEntry is one propagation-cache slot. The sync.Once lets
@@ -189,6 +208,13 @@ func NewWithConfig(g *topology.Graph, d *cloud.Deployment, seed int64, cfg Confi
 		prefCache:    make(map[prefKey]float64),
 		policy:       make(map[topology.ASN]map[bgp.IngressID]bool),
 		bestIng:      make(map[bestKey]bestVal),
+
+		peeringDown: make(map[bgp.IngressID]bool),
+		popDown:     make(map[cloud.PoPID]bool),
+		spikeMs:     make(map[bgp.IngressID]float64),
+		probeLoss:   make(map[bgp.IngressID]int),
+		prefFlips:   make(map[prefKey]uint64),
+		popOf:       make(map[bgp.IngressID]cloud.PoPID, len(d.Peerings)),
 	}
 	for _, pr := range d.Peerings {
 		pop := d.PoP(pr.PoP)
@@ -198,6 +224,7 @@ func NewWithConfig(g *topology.Graph, d *cloud.Deployment, seed int64, cfg Confi
 		w.popCoord[pr.ID] = pop.Coord
 		w.peerASNOf[pr.ID] = pr.PeerASN
 		w.transit[pr.ID] = pr.IsTransit()
+		w.popOf[pr.ID] = pr.PoP
 		if !g.Has(pr.PeerASN) {
 			return nil, fmt.Errorf("netsim: peering %d neighbor %v not in topology", pr.ID, pr.PeerASN)
 		}
@@ -279,6 +306,7 @@ const (
 	// every pre-existing deterministic draw — are unchanged.
 	domRouteDrift
 	domRouteDriftVal
+	domPrefFlip
 )
 
 // --- Latency model ----------------------------------------------------------
@@ -287,12 +315,14 @@ const (
 // (identified by its AS and metro) to the cloud through the given
 // ingress, on the world's current day. Latency is deterministic per
 // (world seed, UG, ingress, day).
+// Transient per-ingress latency spikes applied via ApplyEvent are
+// included; BaseLatencyMs is not affected by them.
 func (w *World) LatencyMs(asn topology.ASN, metro string, ing bgp.IngressID) (float64, error) {
 	base, err := w.BaseLatencyMs(asn, metro, ing)
 	if err != nil {
 		return 0, err
 	}
-	return base + w.dayAdjustMs(asn, metro, ing), nil
+	return base + w.dayAdjustMs(asn, metro, ing) + w.LatencySpikeMs(ing), nil
 }
 
 // BaseLatencyMs is the steady-state (day-independent) latency.
@@ -349,8 +379,11 @@ func (w *World) dayAdjustMs(asn topology.ASN, metro string, ing bgp.IngressID) f
 }
 
 // PathFailed reports whether the (UG, ingress) path is degraded on the
-// current day.
+// current day, or the ingress itself is failed (ApplyEvent overlay).
 func (w *World) PathFailed(asn topology.ASN, metro string, ing bgp.IngressID) bool {
+	if w.IngressDown(ing) {
+		return true
+	}
 	if w.day == 0 {
 		return false
 	}
@@ -449,6 +482,13 @@ func (w *World) prefScoreUncached(as topology.ASN, ing bgp.IngressID) float64 {
 			s = unit(w.h64(domRouteDriftVal, uint64(as), uint64(ing), dk))
 		}
 	}
+	// A hidden-preference flip (EventPrefFlip) re-rolls the score
+	// deterministically per flip count: equal event histories reproduce
+	// equal preferences, but each flip shifts this AS's tie-breaking for
+	// this ingress unpredictably.
+	if n := w.prefFlipCount(prefKey{as: as, ing: ing}); n > 0 {
+		s = unit(w.h64(domPrefFlip, uint64(as), uint64(ing), n))
+	}
 	return s
 }
 
@@ -461,10 +501,17 @@ func (w *World) prefScoreUncached(as topology.ASN, ing bgp.IngressID) float64 {
 // slices hit the same cache entry. SetDay/AdvanceTo invalidate the
 // cache. The returned map is shared with the cache — callers must treat
 // it as read-only.
+//
+// Peerings failed via ApplyEvent are filtered out before the key is
+// built: an advertisement over a withdrawn peering simply injects
+// nothing there. Entries keyed with a down peering are therefore
+// unreachable while it is down and valid again on recovery; preference
+// flips drop the entries they can affect (see events.go).
 func (w *World) ResolveIngress(peerings []bgp.IngressID) (map[topology.ASN]bgp.Route, error) {
 	sorted := make([]bgp.IngressID, len(peerings))
 	copy(sorted, peerings)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted = w.filterLive(sorted)
 	key := resolveKey(w.day, sorted)
 
 	w.resolveMu.Lock()
@@ -612,10 +659,12 @@ func (w *World) policyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error
 }
 
 // BestIngressLatency returns the minimum base latency over the AS's
-// policy-compliant ingresses — the best any advertisement strategy could
-// ever deliver to this UG (the "One per Peering gives all the benefit"
-// upper bound of §5.1.2). Results are memoized per (ASN, metro): base
-// latency is day-independent, so the cache never needs invalidating.
+// policy-compliant live ingresses — the best any advertisement strategy
+// could ever deliver to this UG (the "One per Peering gives all the
+// benefit" upper bound of §5.1.2). Results are memoized per (ASN,
+// metro): base latency is day-independent, so only ApplyEvent failures
+// and recoveries invalidate entries — and only the entries whose answer
+// they can change (see events.go).
 func (w *World) BestIngressLatency(asn topology.ASN, metro string) (float64, bgp.IngressID, error) {
 	k := bestKey{asn: asn, metro: metro}
 	w.polMu.Lock()
@@ -642,6 +691,9 @@ func (w *World) bestIngressLatency(asn topology.ASN, metro string) (float64, bgp
 	best := math.Inf(1)
 	bestID := bgp.InvalidIngress
 	for ing := range pc {
+		if w.IngressDown(ing) {
+			continue
+		}
 		l, err := w.BaseLatencyMs(asn, metro, ing)
 		if err != nil {
 			return 0, bgp.InvalidIngress, err

@@ -32,6 +32,22 @@ type EdgeConfig struct {
 	// (§3.2, avoiding oscillations). Used by the default LowestRTT
 	// policy; ignored when Policy is set.
 	SwitchHysteresisMs float64
+	// BackoffFactor multiplies the recovery-probe interval after each
+	// unanswered probe to a dead destination (exponential backoff), so a
+	// withdrawn prefix is not hammered at the full probe rate. 2 when
+	// unset.
+	BackoffFactor float64
+	// MaxBackoff caps the recovery-probe interval; 20×ProbeInterval when
+	// unset. Recovery probing never stops — a destination that answers
+	// again is immediately marked alive.
+	MaxBackoff time.Duration
+	// QuarantineAfter is how many consecutive unanswered recovery probes
+	// move a dead destination into quarantine (probed only at MaxBackoff
+	// cadence, EventDestQuarantined emitted). 3 when unset.
+	QuarantineAfter int
+	// JitterSeed seeds the deterministic backoff jitter (±15%), which
+	// prevents synchronized recovery-probe bursts across destinations.
+	JitterSeed int64
 	// Policy chooses among alive destinations; nil means
 	// LowestRTT{HysteresisMs: SwitchHysteresisMs}.
 	Policy SelectionPolicy
@@ -50,6 +66,8 @@ func DefaultEdgeConfig() EdgeConfig {
 		FailureRTTMultiple: 1.3,
 		MinFailureTimeout:  20 * time.Millisecond,
 		SwitchHysteresisMs: 2,
+		BackoffFactor:      2,
+		QuarantineAfter:    3,
 	}
 }
 
@@ -61,6 +79,10 @@ const (
 	EventSelected EventKind = iota + 1
 	EventDestDead
 	EventDestAlive
+	// EventDestQuarantined: a dead destination's recovery probes have
+	// gone unanswered QuarantineAfter times; probing continues only at
+	// the MaxBackoff cadence until it answers again.
+	EventDestQuarantined
 )
 
 func (k EventKind) String() string {
@@ -71,6 +93,8 @@ func (k EventKind) String() string {
 		return "dest-dead"
 	case EventDestAlive:
 		return "dest-alive"
+	case EventDestQuarantined:
+		return "dest-quarantined"
 	default:
 		return "event"
 	}
@@ -87,6 +111,9 @@ type Event struct {
 	// been silent when declared dead (the detection latency).
 	SinceLastReply time.Duration
 	RTT            time.Duration
+	// Backoff, for EventDestQuarantined, is the recovery-probe interval
+	// in force when quarantine began.
+	Backoff time.Duration
 }
 
 // destState is the edge's view of one tunnel destination.
@@ -101,6 +128,11 @@ type destState struct {
 	awaitingSeq uint32
 	awaiting    bool
 	everReplied bool
+
+	// Dead-destination recovery probing (exponential backoff).
+	deadProbes   int       // unanswered probes since declared dead
+	nextRecovery time.Time // when the next recovery probe is due
+	quarantined  bool
 }
 
 // Edge is a running TM-Edge.
@@ -131,6 +163,7 @@ type EdgeStats struct {
 	DataSent, DataRcvd      uint64
 	Failovers               uint64
 	RepinnedFlows           uint64
+	Quarantines             uint64
 }
 
 // NewEdge starts a TM-Edge with the given configuration.
@@ -143,6 +176,15 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	}
 	if cfg.MinFailureTimeout <= 0 {
 		cfg.MinFailureTimeout = 20 * time.Millisecond
+	}
+	if cfg.BackoffFactor <= 1 {
+		cfg.BackoffFactor = 2
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 20 * cfg.ProbeInterval
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = 3
 	}
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -267,6 +309,8 @@ type DestinationStatus struct {
 	Alive    bool
 	RTT      time.Duration
 	Selected bool
+	// Quarantined: dead and probed only at the MaxBackoff cadence.
+	Quarantined bool
 }
 
 // Status returns the current view of all destinations, sorted by
@@ -277,10 +321,11 @@ func (e *Edge) Status() []DestinationStatus {
 	out := make([]DestinationStatus, 0, len(e.dests))
 	for key, ds := range e.dests {
 		out = append(out, DestinationStatus{
-			Dest:     ds.dest,
-			Alive:    ds.alive,
-			RTT:      time.Duration(ds.rttEWMA * float64(time.Millisecond)),
-			Selected: key == e.selected,
+			Dest:        ds.dest,
+			Alive:       ds.alive,
+			RTT:         time.Duration(ds.rttEWMA * float64(time.Millisecond)),
+			Selected:    key == e.selected,
+			Quarantined: ds.quarantined,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return destKey(out[i].Dest) < destKey(out[j].Dest) })
@@ -413,6 +458,9 @@ func (e *Edge) probeRound(now time.Time) {
 		// keeps producing replies.
 		if ds.awaiting && ds.alive && now.Sub(ds.lastReply) > timeout {
 			ds.alive = false
+			ds.deadProbes = 0
+			ds.quarantined = false
+			ds.nextRecovery = now // first recovery probe goes out at once
 			events = append(events, Event{
 				Kind: EventDestDead, Dest: ds.dest, At: now,
 				SinceLastReply: now.Sub(ds.lastReply),
@@ -427,7 +475,17 @@ func (e *Edge) probeRound(now time.Time) {
 		// Earlier probes stay registered in seqOwner so a late reply —
 		// e.g. from a destination whose true RTT exceeds the initial
 		// timeout — still marks the destination alive.
-		due := now.Sub(ds.lastProbe) >= e.cfg.ProbeInterval || ds.lastProbe.IsZero()
+		//
+		// Dead destinations are probed on an exponential-backoff
+		// schedule instead, so a withdrawn prefix is not hammered at the
+		// full probe rate but recovery is still noticed (the probe that
+		// finally answers marks it alive again).
+		var due bool
+		if ds.alive {
+			due = now.Sub(ds.lastProbe) >= e.cfg.ProbeInterval || ds.lastProbe.IsZero()
+		} else {
+			due = !now.Before(ds.nextRecovery)
+		}
 		if due {
 			e.seq++
 			seq := e.seq
@@ -436,6 +494,21 @@ func (e *Edge) probeRound(now time.Time) {
 			ds.lastProbe = now
 			e.seqOwner[seq] = key
 			e.gcSeqOwnerLocked()
+			if !ds.alive {
+				ds.deadProbes++
+				backoff := e.backoffAfter(ds.deadProbes, seq)
+				ds.nextRecovery = now.Add(backoff)
+				if !ds.quarantined && ds.deadProbes >= e.cfg.QuarantineAfter {
+					ds.quarantined = true
+					e.statsMu.Lock()
+					e.stats.Quarantines++
+					e.statsMu.Unlock()
+					events = append(events, Event{
+						Kind: EventDestQuarantined, Dest: ds.dest, At: now,
+						Backoff: backoff,
+					})
+				}
+			}
 			pkt := tmproto.AppendProbe(nil, tmproto.Probe{
 				Seq: seq, SentUnixNano: now.UnixNano(),
 			}, false)
@@ -506,6 +579,28 @@ func (e *Edge) reselectLocked(now time.Time) []Event {
 		Kind: EventSelected, Dest: best.dest, Prev: prev, At: now,
 		RTT: time.Duration(best.rttEWMA * float64(time.Millisecond)),
 	}}
+}
+
+// backoffAfter returns the recovery-probe interval after n consecutive
+// unanswered probes to a dead destination: ProbeInterval ×
+// BackoffFactor^n, capped at MaxBackoff, with deterministic ±15% jitter
+// drawn from (JitterSeed, seq) so bursts don't synchronize across
+// destinations but equal configurations reproduce equal schedules.
+func (e *Edge) backoffAfter(n int, seq uint32) time.Duration {
+	b := float64(e.cfg.ProbeInterval)
+	for i := 0; i < n && b < float64(e.cfg.MaxBackoff); i++ {
+		b *= e.cfg.BackoffFactor
+	}
+	if b > float64(e.cfg.MaxBackoff) {
+		b = float64(e.cfg.MaxBackoff)
+	}
+	// splitmix64 over (seed, seq) → factor in [0.85, 1.15).
+	z := uint64(e.cfg.JitterSeed)*0x9e3779b97f4a7c15 + uint64(seq)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	f := 0.85 + 0.3*float64(z>>11)/float64(1<<53)
+	return time.Duration(b * f)
 }
 
 // gcSeqOwnerLocked bounds the outstanding-probe registry: when it grows
@@ -592,6 +687,9 @@ func (e *Edge) handleProbeReply(p tmproto.Probe) {
 			}
 			if !ds.alive {
 				ds.alive = true
+				ds.deadProbes = 0
+				ds.quarantined = false
+				ds.nextRecovery = time.Time{}
 				events = append(events, Event{Kind: EventDestAlive, Dest: ds.dest, At: now,
 					RTT: time.Duration(ds.rttEWMA * float64(time.Millisecond))})
 			}

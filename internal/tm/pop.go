@@ -46,6 +46,46 @@ type PoPConfig struct {
 	Service Service
 	// FlowTTL is how long idle Known Flows entries are retained.
 	FlowTTL time.Duration
+	// OnEvent, if set, receives structured PoP events (flow migrations,
+	// dropped replies) so tests and operators can assert the failover
+	// timeline from the PoP side too.
+	OnEvent func(PoPEvent)
+}
+
+// PoPEventKind discriminates PoP events.
+type PoPEventKind uint8
+
+// PoP event kinds.
+const (
+	// PoPFlowMoved: a Known Flows entry re-homed to a different edge
+	// address — the edge's preferred tunnel died mid-flow and the client
+	// re-entered through another path. Return traffic follows the new
+	// tunnel immediately; no reply is blackholed to the dead one.
+	PoPFlowMoved PoPEventKind = iota + 1
+	// PoPReplyDropped: a service reply had no Known Flows entry (the
+	// flow expired or was never seen) and was dropped gracefully.
+	PoPReplyDropped
+)
+
+func (k PoPEventKind) String() string {
+	switch k {
+	case PoPFlowMoved:
+		return "flow-moved"
+	case PoPReplyDropped:
+		return "reply-dropped"
+	default:
+		return "pop-event"
+	}
+}
+
+// PoPEvent is one PoP-side state change.
+type PoPEvent struct {
+	Kind PoPEventKind
+	Flow tmproto.FlowKey
+	// PrevEdge/NewEdge are the tunnel endpoints involved in a
+	// PoPFlowMoved event.
+	PrevEdge, NewEdge string
+	At                time.Time
 }
 
 // PoP is a running TM-PoP.
@@ -71,6 +111,11 @@ type PoPStats struct {
 	Resolves            uint64
 	Malformed, Unknown  uint64
 	ActiveFlows, Purged int
+	// FlowMoves counts Known Flows entries that re-homed to a new edge
+	// address mid-flow (tunnel failover on the client side).
+	FlowMoves uint64
+	// DroppedReplies counts service replies with no live flow entry.
+	DroppedReplies uint64
 }
 
 // popFlow is one Known Flows entry: the NAT state needed to send return
@@ -152,6 +197,12 @@ func (p *PoP) bump(f func(*PoPStats)) {
 	p.statsMu.Unlock()
 }
 
+func (p *PoP) emit(ev PoPEvent) {
+	if p.cfg.OnEvent != nil {
+		p.cfg.OnEvent(ev)
+	}
+}
+
 func (p *PoP) readLoop() {
 	defer p.wg.Done()
 	buf := make([]byte, 64*1024)
@@ -212,15 +263,30 @@ func (p *PoP) readLoop() {
 // flow (the NAT property that return traffic goes back through the
 // tunnel, not directly to the client).
 func (p *PoP) handleData(d tmproto.Data, from *net.UDPAddr) {
+	now := time.Now()
+	var moved *PoPEvent
 	p.mu.Lock()
 	fl := p.flows[d.Flow]
 	if fl == nil {
 		fl = &popFlow{}
 		p.flows[d.Flow] = fl
 	}
+	// Graceful mid-flow failover: when the flow arrives from a new edge
+	// address, its previous tunnel died (or the edge re-pinned); re-home
+	// the NAT entry so return traffic follows the live tunnel.
+	if fl.edge != nil && fl.edge.String() != from.String() {
+		moved = &PoPEvent{
+			Kind: PoPFlowMoved, Flow: d.Flow,
+			PrevEdge: fl.edge.String(), NewEdge: from.String(), At: now,
+		}
+	}
 	fl.edge = from
-	fl.lastSeen = time.Now()
+	fl.lastSeen = now
 	p.mu.Unlock()
+	if moved != nil {
+		p.bump(func(s *PoPStats) { s.FlowMoves++ })
+		p.emit(*moved)
+	}
 
 	flow := d.Flow
 	payload := append([]byte(nil), d.Payload...)
@@ -233,6 +299,8 @@ func (p *PoP) handleData(d tmproto.Data, from *net.UDPAddr) {
 		}
 		p.mu.Unlock()
 		if edge == nil {
+			p.bump(func(s *PoPStats) { s.DroppedReplies++ })
+			p.emit(PoPEvent{Kind: PoPReplyDropped, Flow: flow, At: time.Now()})
 			return fmt.Errorf("tm: flow %v no longer known", flow)
 		}
 		out, err := tmproto.AppendData(nil, tmproto.Data{Flow: flow, Payload: resp})

@@ -1,0 +1,117 @@
+package tmproto
+
+// Fuzz targets for the tunnel wire protocol: no decoder may panic on
+// arbitrary datagrams, and every successfully parsed message must
+// survive an append/parse round trip unchanged (the property TM-Edge
+// and TM-PoP rely on when they re-serialize replies).
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+func fuzzSeedCorpus(f *testing.F) {
+	fl := FlowKey{
+		Proto:   17,
+		Src:     netip.MustParseAddr("10.1.2.3"),
+		Dst:     netip.MustParseAddr("192.0.2.7"),
+		SrcPort: 40000, DstPort: 443,
+	}
+	if d, err := AppendData(nil, Data{Flow: fl, Payload: []byte("payload")}); err == nil {
+		f.Add(d)
+	}
+	f.Add(AppendProbe(nil, Probe{Seq: 7, SentUnixNano: 123456789}, false))
+	f.Add(AppendProbe(nil, Probe{Seq: 9, SentUnixNano: 42}, true))
+	if r, err := AppendResolve(nil, Resolve{Service: "web"}); err == nil {
+		f.Add(r)
+	}
+	if rr, err := AppendResolveReply(nil, ResolveReply{
+		Service: "web",
+		Destinations: []Destination{
+			{Addr: netip.MustParseAddr("198.51.100.1"), Port: 4000, PoP: 3},
+			{Addr: netip.MustParseAddr("198.51.100.2"), Port: 4001, PoP: 4, Anycast: true},
+		},
+	}); err == nil {
+		f.Add(rr)
+	}
+	// Truncations and garbage.
+	f.Add([]byte{})
+	f.Add([]byte{0x50})
+	f.Add([]byte{0x50, 0x41, 0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+}
+
+// FuzzWireDecode throws arbitrary bytes at every decoder and checks the
+// round-trip property for whatever parses.
+func FuzzWireDecode(f *testing.F) {
+	fuzzSeedCorpus(f)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if _, err := PeekType(b); err != nil {
+			return // malformed header: nothing else may be parseable
+		}
+
+		if d, err := ParseData(b); err == nil {
+			out, err := AppendData(nil, d)
+			if err != nil {
+				t.Fatalf("parsed Data does not re-serialize: %v", err)
+			}
+			d2, err := ParseData(out)
+			if err != nil {
+				t.Fatalf("re-serialized Data does not parse: %v", err)
+			}
+			if d2.Flow != d.Flow || !bytes.Equal(d2.Payload, d.Payload) {
+				t.Fatalf("Data round trip changed: %+v -> %+v", d, d2)
+			}
+		}
+
+		if p, reply, err := ParseProbe(b); err == nil {
+			out := AppendProbe(nil, p, reply)
+			p2, reply2, err := ParseProbe(out)
+			if err != nil || p2 != p || reply2 != reply {
+				t.Fatalf("Probe round trip changed: %+v/%v -> %+v/%v (%v)", p, reply, p2, reply2, err)
+			}
+			if !reply {
+				// MakeReply must flip the type in place and re-parse.
+				r, err := MakeReply(out)
+				if err != nil {
+					t.Fatalf("MakeReply on valid probe: %v", err)
+				}
+				pr, isReply, err := ParseProbe(r)
+				if err != nil || !isReply || pr != p {
+					t.Fatalf("MakeReply round trip: %+v/%v (%v)", pr, isReply, err)
+				}
+			}
+		}
+
+		if r, err := ParseResolve(b); err == nil {
+			out, err := AppendResolve(nil, r)
+			if err != nil {
+				t.Fatalf("parsed Resolve does not re-serialize: %v", err)
+			}
+			r2, err := ParseResolve(out)
+			if err != nil || r2 != r {
+				t.Fatalf("Resolve round trip changed: %+v -> %+v (%v)", r, r2, err)
+			}
+		}
+
+		if rr, err := ParseResolveReply(b); err == nil {
+			out, err := AppendResolveReply(nil, rr)
+			if err != nil {
+				t.Fatalf("parsed ResolveReply does not re-serialize: %v", err)
+			}
+			rr2, err := ParseResolveReply(out)
+			if err != nil {
+				t.Fatalf("re-serialized ResolveReply does not parse: %v", err)
+			}
+			if rr2.Service != rr.Service || len(rr2.Destinations) != len(rr.Destinations) {
+				t.Fatalf("ResolveReply round trip changed: %+v -> %+v", rr, rr2)
+			}
+			for i := range rr.Destinations {
+				if rr2.Destinations[i] != rr.Destinations[i] {
+					t.Fatalf("destination %d changed: %+v -> %+v", i, rr.Destinations[i], rr2.Destinations[i])
+				}
+			}
+		}
+	})
+}
