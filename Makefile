@@ -9,7 +9,7 @@ COVER_FLOOR = 70
 # Native fuzz targets smoke-tested by `make fuzz` (one -fuzz per run).
 FUZZ_TIME ?= 10s
 
-.PHONY: all build vet test race fuzz cover bench bench-json experiments examples clean
+.PHONY: all build vet test race fuzz cover lint bench bench-json bench-obs experiments examples clean
 
 all: build vet test
 
@@ -19,13 +19,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: go vet always; staticcheck when installed (CI
+# installs it, the dev container may not have it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet ran)"; \
+	fi
+
 # -shuffle=on randomizes test order every run, flushing out hidden
 # inter-test state; failures print the shuffle seed for replay.
 test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/
+	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/controlapi/
 
 # Short fuzzing smoke on the wire decoders: each target runs for
 # FUZZ_TIME (go test allows one -fuzz pattern per invocation).
@@ -54,6 +63,14 @@ bench:
 # ScaleSmall and record the numbers (ns/op, allocs/op, speedup).
 bench-json:
 	$(GO) run ./cmd/benchprop -out BENCH_PROPAGATE.json
+
+# Measure observability overhead on the propagation hot path: live obs
+# vs the no-op default, plus the -tags obsstrip compile-time-stripped
+# build. Both invocations merge into one BENCH_OBS.json.
+bench-obs:
+	rm -f BENCH_OBS.json
+	$(GO) run ./cmd/benchobs -modes noop,live -out BENCH_OBS.json
+	$(GO) run -tags obsstrip ./cmd/benchobs -modes stripped -out BENCH_OBS.json
 
 # Regenerate every table/figure at prototype (PEERING) scale.
 experiments:

@@ -1,0 +1,127 @@
+// Command benchobs measures the observability overhead on the hot path:
+// bgp.Propagate with live obs instrumentation vs the no-op default.
+// Built with -tags obsstrip the same binary measures the compile-time
+// stripped variant (the instrumentation branch is constant-folded away).
+//
+// `make bench-obs` runs both builds and merges the three modes into
+// BENCH_OBS.json; the acceptance contract is live-vs-noop overhead
+// within a few percent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"painter/internal/bgp"
+	"painter/internal/experiments"
+	"painter/internal/obs"
+)
+
+// Result records one mode's benchmark numbers.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the BENCH_OBS.json schema. Modes maps "noop", "live", and
+// "stripped" to their numbers; OverheadPct compares live to noop once
+// both are present.
+type Report struct {
+	Scale       string            `json:"scale"`
+	Seed        int64             `json:"seed"`
+	Modes       map[string]Result `json:"modes"`
+	OverheadPct float64           `json:"live_vs_noop_overhead_pct"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_OBS.json", "output file (merged with existing modes)")
+	seed := flag.Int64("seed", 7, "environment seed")
+	modes := flag.String("modes", "noop,live", "comma-separated modes to run (noop, live, stripped)")
+	flag.Parse()
+
+	env, err := experiments.NewEnv(experiments.ScaleSmall, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	inj, err := env.Deploy.Injections(env.Deploy.AllPeeringIDs())
+	if err != nil {
+		fatal(err)
+	}
+	env.Graph.Index()
+	tb := env.World.TieBreaker()
+
+	run := func() Result {
+		// Warm caches so the measurement is steady-state propagation.
+		if _, err := bgp.Propagate(env.Graph, inj, tb); err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bgp.Propagate(env.Graph, inj, tb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return Result{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	rep := Report{Scale: "small", Seed: *seed, Modes: map[string]Result{}}
+	if buf, err := os.ReadFile(*out); err == nil {
+		// Merge into a previous report so the two builds (default and
+		// -tags obsstrip) accumulate into one file.
+		_ = json.Unmarshal(buf, &rep)
+		if rep.Modes == nil {
+			rep.Modes = map[string]Result{}
+		}
+	}
+
+	for _, mode := range strings.Split(*modes, ",") {
+		mode = strings.TrimSpace(mode)
+		switch mode {
+		case "noop", "stripped":
+			bgp.InstrumentPropagate(nil)
+		case "live":
+			bgp.InstrumentPropagate(obs.NewRegistry())
+		default:
+			fatal(fmt.Errorf("unknown mode %q", mode))
+		}
+		res := run()
+		rep.Modes[mode] = res
+		fmt.Printf("%-9s %10.0f ns/op  %6d allocs/op  %8d B/op\n",
+			mode, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+
+	if noop, ok := rep.Modes["noop"]; ok {
+		if live, ok := rep.Modes["live"]; ok && noop.NsPerOp > 0 {
+			rep.OverheadPct = (live.NsPerOp - noop.NsPerOp) / noop.NsPerOp * 100
+			fmt.Printf("live vs noop overhead: %+.2f%%\n", rep.OverheadPct)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("→ %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchobs:", err)
+	os.Exit(1)
+}

@@ -4,29 +4,228 @@
 //
 // Usage:
 //
+//	painter-bench -list                   # show experiment ids
 //	painter-bench -exp fig6a              # one experiment
 //	painter-bench -exp all                # everything (slow at -scale azure)
 //	painter-bench -exp fig6b -scale peering -seed 7 -iters 3
+//	painter-bench -exp fig6a -metrics-dump obs.jsonl
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"painter/internal/bgp"
 	"painter/internal/experiments"
+	"painter/internal/obs"
 )
+
+// runCtx carries shared state into experiment run functions.
+type runCtx struct {
+	env   *experiments.Env
+	seed  int64
+	iters int
+	// fig6aRows is cached so fig14 (a re-projection of the same sweep)
+	// reuses fig6a's rows instead of re-solving.
+	fig6aRows []experiments.Fig6aResult
+}
+
+func (c *runCtx) fig6a() ([]experiments.Fig6aResult, error) {
+	if c.fig6aRows == nil {
+		rows, err := experiments.RunFig6a(c.env, nil, c.iters)
+		if err != nil {
+			return nil, err
+		}
+		c.fig6aRows = rows
+	}
+	return c.fig6aRows, nil
+}
+
+// experiment is one reproducible figure/table.
+type experiment struct {
+	id       string
+	desc     string
+	needsEnv bool
+	run      func(c *runCtx) error
+}
+
+// experimentList holds every experiment in run order. fig6a precedes
+// fig14 so an "all" run computes the shared sweep once.
+var experimentList = []experiment{
+	{"fig3", "latency-vs-geodistance analysis of the measurement corpus", false, func(c *runCtx) error {
+		an, err := experiments.RunFig3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig3Table(an))
+		return nil
+	}},
+	{"fig8", "prefix-generalization model comparison", false, func(c *runCtx) error {
+		fmt.Println(experiments.Fig8Table(experiments.RunFig8()))
+		return nil
+	}},
+	{"fig10", "TM failover timeline on a live UDP edge/PoP pair", false, func(c *runCtx) error {
+		res, err := experiments.RunFig10(experiments.DefaultFig10Config())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig10Table(res))
+		return nil
+	}},
+	{"fig6a", "median latency improvement vs prefix budget", true, func(c *runCtx) error {
+		rows, err := c.fig6a()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig6aTable(rows))
+		return nil
+	}},
+	{"fig14", "per-UG improvement distribution (reuses the fig6a sweep)", true, func(c *runCtx) error {
+		rows, err := c.fig6a()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig14Table(rows))
+		return nil
+	}},
+	{"fig6b", "improvement vs number of PoPs", true, func(c *runCtx) error {
+		rows, err := experiments.RunFig6b(c.env, nil, c.iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig6bTable(rows))
+		return nil
+	}},
+	{"fig6c", "improvement vs learning iterations at a fixed budget", true, func(c *runCtx) error {
+		budget := c.env.Budgets([]float64{0.1})[0]
+		rows, err := experiments.RunFig6c(c.env, budget, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig6cTable(rows))
+		return nil
+	}},
+	{"fig7", "latency CDFs at small prefix budgets", true, func(c *runCtx) error {
+		budgets := c.env.Budgets([]float64{0.002, 0.021})
+		pts, err := experiments.RunFig7(c.env, budgets, 25, c.iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig7Table(pts))
+		return nil
+	}},
+	{"fig9a", "anycast vs unicast ingress latency", true, func(c *runCtx) error {
+		rows, err := experiments.RunFig9a(c.env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig9aTable(rows))
+		return nil
+	}},
+	{"fig9b", "PAINTER vs anycast improvement by budget", true, func(c *runCtx) error {
+		rows, err := experiments.RunFig9b(c.env, nil, c.iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig9bTable(rows))
+		return nil
+	}},
+	{"fig11a", "failover latency inflation to the next-best ingress", true, func(c *runCtx) error {
+		res, err := experiments.RunFig11a(c.env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig11aTable(res))
+		return nil
+	}},
+	{"fig11b", "ingress diversity under failure", true, func(c *runCtx) error {
+		res, err := experiments.RunFig11b(c.env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig11bTable(res))
+		return nil
+	}},
+	{"fig12a", "latency during PoP maintenance", true, func(c *runCtx) error {
+		rows, err := experiments.RunFig12a(c.env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig12aTable(rows))
+		return nil
+	}},
+	{"fig12b", "latency during peering maintenance", true, func(c *runCtx) error {
+		rows, err := experiments.RunFig12b(c.env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig12bTable(rows))
+		return nil
+	}},
+	{"fig15a", "update-rate sensitivity (announcement churn)", true, func(c *runCtx) error {
+		rows, err := experiments.RunFig15a(c.env, nil, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig15aTable(rows))
+		return nil
+	}},
+	{"chaos", "randomized failure injection with TM failover", true, func(c *runCtx) error {
+		res, err := experiments.RunChaosFailover(c.env, experiments.ChaosFailoverConfig{Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		return nil
+	}},
+	{"validation", "policy-compliance validation of simulated routing", true, func(c *runCtx) error {
+		v, err := experiments.RunComplianceValidation(c.env)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ComplianceValidationTable(v))
+		return nil
+	}},
+	{"ablations", "component ablations at a fixed budget", true, func(c *runCtx) error {
+		budget := c.env.Budgets([]float64{0.03})[0]
+		rows, err := experiments.RunAblations(c.env, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.AblationTable(rows))
+		return nil
+	}},
+	{"fig15b", "prefix-count sensitivity (announcement churn)", true, func(c *runCtx) error {
+		rows, err := experiments.RunFig15b(c.env, nil, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig15bTable(rows))
+		return nil
+	}},
+}
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment id (fig3, fig6a, fig6b, fig6c, fig7, fig8, fig9a, fig9b, fig10, fig11a, fig11b, fig12a, fig12b, fig14, fig15a, fig15b, chaos, ablations, validation, all)")
+		expName = flag.String("exp", "all", `experiment id(s), comma-separated, or "all" (see -list)`)
 		scale   = flag.String("scale", "peering", "environment scale: small, peering, azure")
 		seed    = flag.Int64("seed", 7, "world seed")
 		iters   = flag.Int("iters", 2, "orchestrator learning iterations")
+		list    = flag.Bool("list", false, "print experiment ids with descriptions and exit")
+		dump    = flag.String("metrics-dump", "", `append one JSON obs snapshot per experiment to this file ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	if *list {
+		for _, e := range experimentList {
+			fmt.Printf("%-11s %s\n", e.id, e.desc)
+		}
+		return
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -41,226 +240,96 @@ func main() {
 		os.Exit(2)
 	}
 
+	known := map[string]bool{}
+	for _, e := range experimentList {
+		known[e.id] = true
+	}
 	wants := map[string]bool{}
 	for _, e := range strings.Split(*expName, ",") {
-		wants[strings.TrimSpace(e)] = true
+		id := strings.TrimSpace(e)
+		if id != "all" && !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		wants[id] = true
 	}
 	all := wants["all"]
-	want := func(name string) bool { return all || wants[name] }
+	want := func(id string) bool { return all || wants[id] }
 
-	// Experiments that need no environment.
-	if want("fig3") {
-		timed("fig3", func() error {
-			an, err := experiments.RunFig3()
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig3Table(an))
-			return nil
-		})
-	}
-	if want("fig8") {
-		fmt.Println(experiments.Fig8Table(experiments.RunFig8()))
-	}
-	if want("fig10") {
-		timed("fig10", func() error {
-			res, err := experiments.RunFig10(experiments.DefaultFig10Config())
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig10Table(res))
-			return nil
-		})
+	// The bench registry collects bgp.Propagate instruments; with
+	// -metrics-dump each experiment appends its merged snapshot.
+	reg := obs.NewRegistry()
+	bgp.InstrumentPropagate(reg)
+	var dumpFile *os.File
+	if *dump == "-" {
+		dumpFile = os.Stdout
+	} else if *dump != "" {
+		f, err := os.OpenFile(*dump, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dumpFile = f
 	}
 
+	ctx := &runCtx{seed: *seed, iters: *iters}
 	needEnv := false
-	for _, n := range []string{"fig6a", "fig6b", "fig6c", "fig7", "fig9a", "fig9b",
-		"fig11a", "fig11b", "fig12a", "fig12b", "fig14", "fig15a", "fig15b", "chaos", "ablations", "validation"} {
-		if want(n) {
+	for _, e := range experimentList {
+		if e.needsEnv && want(e.id) {
 			needEnv = true
 		}
 	}
-	if !needEnv {
-		return
+	if needEnv {
+		fmt.Fprintf(os.Stderr, "building %s-scale environment (seed %d)...\n", sc, *seed)
+		start := time.Now()
+		env, err := experiments.NewEnv(sc, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "environment ready in %v: %d PoPs, %d peerings, %d UGs\n",
+			time.Since(start).Truncate(time.Millisecond),
+			len(env.Deploy.PoPs), len(env.Deploy.AllPeeringIDs()), env.UGs.Len())
+		ctx.env = env
 	}
 
-	fmt.Fprintf(os.Stderr, "building %s-scale environment (seed %d)...\n", sc, *seed)
-	start := time.Now()
-	env, err := experiments.NewEnv(sc, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "environment ready in %v: %d PoPs, %d peerings, %d UGs\n",
-		time.Since(start).Truncate(time.Millisecond),
-		len(env.Deploy.PoPs), len(env.Deploy.AllPeeringIDs()), env.UGs.Len())
-
-	var fig6aRows []experiments.Fig6aResult
-	if want("fig6a") || want("fig14") {
-		timed("fig6a", func() error {
-			rows, err := experiments.RunFig6a(env, nil, *iters)
-			if err != nil {
-				return err
+	for _, e := range experimentList {
+		if !want(e.id) {
+			continue
+		}
+		start := time.Now()
+		if err := e.run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", e.id, elapsed.Truncate(time.Millisecond))
+		if dumpFile != nil {
+			if err := writeDump(dumpFile, e.id, elapsed, ctx, reg); err != nil {
+				fatal(err)
 			}
-			fig6aRows = rows
-			fmt.Println(experiments.Fig6aTable(rows))
-			return nil
-		})
-	}
-	if want("fig14") && fig6aRows != nil {
-		fmt.Println(experiments.Fig14Table(fig6aRows))
-	}
-	if want("fig6b") {
-		timed("fig6b", func() error {
-			rows, err := experiments.RunFig6b(env, nil, *iters)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig6bTable(rows))
-			return nil
-		})
-	}
-	if want("fig6c") {
-		timed("fig6c", func() error {
-			budget := env.Budgets([]float64{0.1})[0]
-			rows, err := experiments.RunFig6c(env, budget, 4)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig6cTable(rows))
-			return nil
-		})
-	}
-	if want("fig7") {
-		timed("fig7", func() error {
-			budgets := env.Budgets([]float64{0.002, 0.021})
-			pts, err := experiments.RunFig7(env, budgets, 25, *iters)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig7Table(pts))
-			return nil
-		})
-	}
-	if want("fig9a") {
-		timed("fig9a", func() error {
-			rows, err := experiments.RunFig9a(env)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig9aTable(rows))
-			return nil
-		})
-	}
-	if want("fig9b") {
-		timed("fig9b", func() error {
-			rows, err := experiments.RunFig9b(env, nil, *iters)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig9bTable(rows))
-			return nil
-		})
-	}
-	if want("fig11a") {
-		timed("fig11a", func() error {
-			res, err := experiments.RunFig11a(env)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig11aTable(res))
-			return nil
-		})
-	}
-	if want("fig11b") {
-		timed("fig11b", func() error {
-			res, err := experiments.RunFig11b(env)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig11bTable(res))
-			return nil
-		})
-	}
-	if want("fig12a") {
-		timed("fig12a", func() error {
-			rows, err := experiments.RunFig12a(env)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig12aTable(rows))
-			return nil
-		})
-	}
-	if want("fig12b") {
-		timed("fig12b", func() error {
-			rows, err := experiments.RunFig12b(env)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig12bTable(rows))
-			return nil
-		})
-	}
-	if want("fig15a") {
-		timed("fig15a", func() error {
-			rows, err := experiments.RunFig15a(env, nil, 1)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig15aTable(rows))
-			return nil
-		})
-	}
-	if want("chaos") {
-		timed("chaos", func() error {
-			res, err := experiments.RunChaosFailover(env, experiments.ChaosFailoverConfig{Seed: *seed})
-			if err != nil {
-				return err
-			}
-			fmt.Println(res.Table())
-			return nil
-		})
-	}
-	if want("validation") {
-		timed("validation", func() error {
-			v, err := experiments.RunComplianceValidation(env)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.ComplianceValidationTable(v))
-			return nil
-		})
-	}
-	if want("ablations") {
-		timed("ablations", func() error {
-			budget := env.Budgets([]float64{0.03})[0]
-			rows, err := experiments.RunAblations(env, budget)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.AblationTable(rows))
-			return nil
-		})
-	}
-	if want("fig15b") {
-		timed("fig15b", func() error {
-			rows, err := experiments.RunFig15b(env, nil, 1)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig15bTable(rows))
-			return nil
-		})
+		}
 	}
 }
 
-func timed(name string, f func() error) {
-	start := time.Now()
-	if err := f(); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-		os.Exit(1)
+// writeDump appends one JSON line: the experiment id, wall time, and
+// the merged obs snapshot (bench registry + the world's, when built).
+func writeDump(f *os.File, id string, elapsed time.Duration, ctx *runCtx, reg *obs.Registry) error {
+	snaps := []obs.RegistrySnapshot{reg.Snapshot()}
+	if ctx.env != nil {
+		snaps = append(snaps, ctx.env.World.Obs().Snapshot())
 	}
-	fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Truncate(time.Millisecond))
+	rec := struct {
+		Experiment string               `json:"experiment"`
+		ElapsedSec float64              `json:"elapsed_sec"`
+		Obs        obs.RegistrySnapshot `json:"obs"`
+	}{id, elapsed.Seconds(), obs.MergeSnapshots(snaps...)}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = f.Write(b)
+	return err
 }
 
 func fatal(err error) {

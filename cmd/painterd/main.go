@@ -8,6 +8,8 @@
 //	GET  /config            current configuration (prefix → peerings)
 //	GET  /evaluate          ground-truth benefit of the current config
 //	GET  /reports           per-iteration learning reports
+//	GET  /metrics           Prometheus text exposition
+//	GET  /debug/obs         merged obs snapshot as JSON
 //
 // Computed configurations can also be announced over BGP to a route
 // server (-route-server host:port) — the "advertisement installation"
@@ -15,14 +17,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"painter/internal/controlapi"
 	"painter/internal/experiments"
+	"painter/internal/obs"
 )
 
 func main() {
@@ -56,5 +64,26 @@ func main() {
 	st := env.Deploy.Stats()
 	log.Printf("painterd: ready — %d PoPs, %d peerings (%d transit), %d UGs; listening on %s",
 		st.PoPs, st.Peerings, st.Transit, env.UGs.Len(), *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("painterd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	_ = srv.Close()
+	// Final observability flush on stderr for log-harvesting supervisors.
+	_ = obs.DumpSnapshot(os.Stderr, srv.Obs(), env.World.Obs())
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"painter/internal/bgp"
+	"painter/internal/obs"
 	"painter/internal/routeserver"
 )
 
@@ -26,15 +27,18 @@ func main() {
 		localAS = flag.Uint("as", 64999, "local AS number")
 		damping = flag.Bool("damping", true, "enable RFC 2439 route-flap damping")
 		logIv   = flag.Duration("log-interval", 10*time.Second, "RIB summary logging interval (0 = off)")
+		metrics = flag.String("metrics-listen", "", "HTTP address for /metrics and /debug/obs (empty = off)")
 	)
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	cfg := routeserver.Config{
 		ListenAddr: *listen,
 		LocalAS:    uint16(*localAS),
 		BGPID:      0x0a00f311,
 		HoldTime:   30 * time.Second,
 		Logf:       routeserver.LogfStd,
+		Obs:        reg,
 	}
 	if *damping {
 		d := bgp.DefaultDampingConfig()
@@ -44,8 +48,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 	log.Printf("route-server: AS%d listening on %s (damping=%v)", *localAS, srv.Addr(), *damping)
+
+	var ms *obs.MetricsServer
+	if *metrics != "" {
+		ms, err = obs.StartServer(*metrics, reg)
+		if err != nil {
+			_ = srv.Close()
+			log.Fatal(err)
+		}
+		log.Printf("route-server: metrics on http://%s/metrics", ms.Addr())
+	}
 
 	if *logIv > 0 {
 		go func() {
@@ -68,4 +81,9 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("route-server: shutting down")
+	_ = ms.Shutdown()
+	_ = srv.Close()
+	// Final observability flush: one merged JSON snapshot on stderr so a
+	// supervisor harvesting logs keeps the last counters.
+	_ = obs.DumpSnapshot(os.Stderr, reg)
 }

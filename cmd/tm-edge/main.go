@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"painter/internal/obs"
 	"painter/internal/tm"
 	"painter/internal/tmproto"
 )
@@ -63,13 +64,16 @@ func main() {
 		probeIv  = flag.Duration("probe-interval", 50*time.Millisecond, "probe cadence per destination")
 		demo     = flag.Bool("demo", false, "send a demo flow and print per-second status")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
+		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics and /debug/obs (empty = off)")
 	)
 	flag.Var(&dests, "dest", "tunnel destination (addr:port,popid[,anycast]); repeatable")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	cfg := tm.DefaultEdgeConfig()
 	cfg.ProbeInterval = *probeIv
 	cfg.Destinations = dests
+	cfg.Obs = reg
 	cfg.OnEvent = func(ev tm.Event) {
 		switch ev.Kind {
 		case tm.EventSelected:
@@ -109,6 +113,15 @@ func main() {
 		log.Fatal("no destinations: use -dest or -resolve")
 	}
 	log.Printf("tm-edge up at %s with %d destinations", edge.Addr(), len(edge.Status()))
+
+	var ms *obs.MetricsServer
+	if *metrics != "" {
+		ms, err = obs.StartServer(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("tm-edge: metrics on http://%s/metrics", ms.Addr())
+	}
 
 	stop := make(chan struct{})
 	if *duration > 0 {
@@ -159,4 +172,8 @@ func main() {
 	s := edge.Stats()
 	log.Printf("tm-edge: done — probes %d replies %d data %d/%d failovers %d repins %d",
 		s.ProbesSent, s.RepliesRcvd, s.DataSent, s.DataRcvd, s.Failovers, s.RepinnedFlows)
+	_ = ms.Shutdown()
+	_ = edge.Close()
+	// Final observability flush on stderr for log-harvesting supervisors.
+	_ = obs.DumpSnapshot(os.Stderr, reg)
 }

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"painter/internal/obs"
 	"painter/internal/tm"
 	"painter/internal/tmproto"
 )
@@ -58,21 +59,33 @@ func main() {
 		popID   = flag.Uint("pop-id", 1, "PoP identifier")
 		flowTTL = flag.Duration("flow-ttl", 5*time.Minute, "idle flow retention")
 		statsIv = flag.Duration("stats-interval", 10*time.Second, "stats logging interval (0 = off)")
+		metrics = flag.String("metrics-listen", "", "HTTP address for /metrics and /debug/obs (empty = off)")
 	)
 	flag.Var(&dests, "dest", "destination to advertise to edges (addr:port,popid[,anycast]); repeatable")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	pop, err := tm.NewPoP(tm.PoPConfig{
 		ListenAddr:   *listen,
 		PoPID:        uint32(*popID),
 		Destinations: dests,
 		FlowTTL:      *flowTTL,
+		Obs:          reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer pop.Close()
 	log.Printf("tm-pop %d listening on %s with %d advertised destinations", *popID, pop.Addr(), len(dests))
+
+	var ms *obs.MetricsServer
+	if *metrics != "" {
+		ms, err = obs.StartServer(*metrics, reg)
+		if err != nil {
+			_ = pop.Close()
+			log.Fatal(err)
+		}
+		log.Printf("tm-pop: metrics on http://%s/metrics", ms.Addr())
+	}
 
 	if *statsIv > 0 {
 		go func() {
@@ -90,4 +103,8 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("tm-pop: shutting down")
+	_ = ms.Shutdown()
+	_ = pop.Close()
+	// Final observability flush on stderr for log-harvesting supervisors.
+	_ = obs.DumpSnapshot(os.Stderr, reg)
 }

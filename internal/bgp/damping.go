@@ -130,6 +130,27 @@ func (d *Damper) Suppressed(p netip.Prefix) bool {
 	return s.suppressed
 }
 
+// SuppressedCount returns how many prefixes are currently suppressed
+// (after bringing every penalty up to date). Intended for gauges; cost
+// is linear in tracked prefixes.
+func (d *Damper) SuppressedCount() int {
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, s := range d.state {
+		d.decayTo(s, now)
+		if s.suppressed {
+			if s.penalty <= d.cfg.ReuseThreshold || now.Sub(s.suppressedAt) >= d.cfg.MaxSuppress {
+				s.suppressed = false
+				continue
+			}
+			n++
+		}
+	}
+	return n
+}
+
 // Penalty returns the current (decayed) penalty for a prefix.
 func (d *Damper) Penalty(p netip.Prefix) float64 {
 	now := d.now()

@@ -1,0 +1,48 @@
+package bgp
+
+// Propagation instrumentation. Propagate is the single hottest function
+// in the repo, so its metrics are wired deliberately:
+//
+//   - A package-level atomic.Pointer holds the metric handles; nil (the
+//     default) means disabled, and the check compiles to one load + one
+//     predictable branch per Propagate call — nothing per route.
+//   - Candidate/bucket accounting is per-bucket, not per-candidate, and
+//     only runs when instrumentation is live.
+//   - Building with -tags obsstrip sets obsEnabled = false (see
+//     obs_enabled.go / obs_stripped.go) and dead-code-eliminates even
+//     the branch, producing the fully uninstrumented baseline that
+//     make bench-obs compares against.
+
+import (
+	"sync/atomic"
+
+	"painter/internal/obs"
+)
+
+// propagateMetrics bundles the Propagate metric handles.
+type propagateMetrics struct {
+	total      *obs.Counter
+	seconds    *obs.Histogram
+	candidates *obs.Histogram
+	buckets    *obs.Histogram
+	settled    *obs.Histogram
+}
+
+var propObs atomic.Pointer[propagateMetrics]
+
+// InstrumentPropagate points Propagate's instrumentation at the given
+// registry. Passing nil disables it again (the default state). Safe to
+// call concurrently with Propagate.
+func InstrumentPropagate(r *obs.Registry) {
+	if r == nil {
+		propObs.Store(nil)
+		return
+	}
+	propObs.Store(&propagateMetrics{
+		total:      r.Counter("bgp_propagate_total", "whole-graph route propagations run"),
+		seconds:    r.Histogram("bgp_propagate_seconds", "wall time of one Propagate call"),
+		candidates: r.Histogram("bgp_propagate_candidates", "candidate routes enqueued per Propagate call"),
+		buckets:    r.Histogram("bgp_propagate_buckets", "maximum path-length bucket reached per Propagate call"),
+		settled:    r.Histogram("bgp_propagate_settled", "ASes settled with a route per Propagate call"),
+	})
+}

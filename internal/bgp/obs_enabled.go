@@ -1,0 +1,9 @@
+//go:build !obsstrip
+
+package bgp
+
+// obsEnabled gates Propagate's instrumentation at compile time. The
+// default build keeps it on (still costing only a nil check while no
+// registry is installed); -tags obsstrip turns the whole branch into
+// dead code for the stripped baseline benchmark.
+const obsEnabled = true

@@ -1,0 +1,8 @@
+//go:build obsstrip
+
+package bgp
+
+// obsEnabled is false under -tags obsstrip: Propagate's instrumentation
+// branch is compiled out entirely, giving the uninstrumented baseline
+// that make bench-obs measures overhead against.
+const obsEnabled = false

@@ -8,6 +8,7 @@ package bgp
 
 import (
 	"fmt"
+	"time"
 
 	"painter/internal/topology"
 )
@@ -252,6 +253,17 @@ func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[to
 		return nil, err
 	}
 
+	// Instrumentation is one pointer load when disabled; candidate and
+	// bucket accounting below is per-bucket and only when m != nil.
+	var m *propagateMetrics
+	var start time.Time
+	var cands, maxBucket int
+	if obsEnabled {
+		if m = propObs.Load(); m != nil {
+			start = time.Now()
+		}
+	}
+
 	idx := g.Index()
 	n := idx.Len()
 	sel := make([]Route, n)
@@ -319,6 +331,10 @@ func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[to
 		}
 	}
 	for l := 1; l < len(q.buckets); l++ {
+		if m != nil && len(q.buckets[l]) > 0 {
+			cands += len(q.buckets[l])
+			maxBucket = l
+		}
 		settleBucket(q.buckets[l], l, ClassCustomer, exportUp)
 		q.buckets[l] = q.buckets[l][:0]
 	}
@@ -350,6 +366,12 @@ func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[to
 		}
 	}
 	for l := 1; l < len(q.buckets); l++ {
+		if m != nil && len(q.buckets[l]) > 0 {
+			cands += len(q.buckets[l])
+			if l > maxBucket {
+				maxBucket = l
+			}
+		}
 		settleBucket(q.buckets[l], l, ClassPeer, nil)
 		q.buckets[l] = q.buckets[l][:0]
 	}
@@ -381,6 +403,12 @@ func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[to
 		}
 	}
 	for l := 1; l < len(q.buckets); l++ {
+		if m != nil && len(q.buckets[l]) > 0 {
+			cands += len(q.buckets[l])
+			if l > maxBucket {
+				maxBucket = l
+			}
+		}
 		settleBucket(q.buckets[l], l, ClassProvider, exportDown)
 		q.buckets[l] = q.buckets[l][:0]
 	}
@@ -390,6 +418,13 @@ func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[to
 		if settled[i] {
 			out[idx.ASN(i)] = sel[i]
 		}
+	}
+	if m != nil {
+		m.total.Inc()
+		m.seconds.Observe(time.Since(start).Seconds())
+		m.candidates.Observe(float64(cands))
+		m.buckets.Observe(float64(maxBucket))
+		m.settled.Observe(float64(settledCount))
 	}
 	return out, nil
 }

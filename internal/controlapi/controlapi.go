@@ -7,6 +7,8 @@
 //	GET  /config    current configuration (prefix → peerings)
 //	GET  /evaluate  ground-truth benefit of the current configuration
 //	GET  /reports   per-iteration learning reports
+//	GET  /metrics   Prometheus text exposition (orchestrator + netsim)
+//	GET  /debug/obs merged obs snapshot as JSON
 package controlapi
 
 import (
@@ -22,6 +24,7 @@ import (
 	"painter/internal/bgp"
 	"painter/internal/core"
 	"painter/internal/experiments"
+	"painter/internal/obs"
 )
 
 // Server holds the orchestrator state behind the HTTP API.
@@ -32,6 +35,9 @@ type Server struct {
 	RouteServer string
 	// AnnounceTimeout bounds the BGP install.
 	AnnounceTimeout time.Duration
+	// obs is the server's metric registry: solve-loop and propagate
+	// metrics land here; /metrics also merges the world's registry.
+	obs *obs.Registry
 
 	mu      sync.Mutex
 	cfg     advertise.Config
@@ -43,8 +49,19 @@ type Server struct {
 
 // New creates a Server over an environment.
 func New(env *experiments.Env, routeServer string) *Server {
-	return &Server{Env: env, RouteServer: routeServer, AnnounceTimeout: 5 * time.Second}
+	s := &Server{
+		Env: env, RouteServer: routeServer, AnnounceTimeout: 5 * time.Second,
+		obs: obs.NewRegistry(),
+	}
+	// Route bgp.Propagate timings into this server's registry so a
+	// /metrics scrape during a live solve sees propagation histograms.
+	bgp.InstrumentPropagate(s.obs)
+	return s
 }
+
+// Obs returns the server's metric registry (for embedding daemons that
+// want to add their own instruments to the same exposition).
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -54,6 +71,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /config", s.handleConfig)
 	mux.HandleFunc("GET /evaluate", s.handleEvaluate)
 	mux.HandleFunc("GET /reports", s.handleReports)
+	regs := []*obs.Registry{s.obs}
+	if s.Env != nil && s.Env.World != nil {
+		regs = append(regs, s.Env.World.Obs())
+	}
+	mux.Handle("GET /metrics", obs.Handler(regs...))
+	mux.Handle("GET /debug/obs", obs.JSONHandler(regs...))
 	return mux
 }
 
@@ -131,6 +154,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Iterations > 0 {
 		params.MaxIterations = req.Iterations
 	}
+	params.Obs = s.obs
 	exec := core.NewWorldExecutor(s.Env.World, s.Env.UGs, 0.5, s.Env.Seed+123)
 	o, err := core.New(s.Env.Inputs, exec, params)
 	if err != nil {

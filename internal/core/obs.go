@@ -1,0 +1,38 @@
+package core
+
+// Solve-loop observability: progress of the greedy allocator and the
+// learning loop. All handles are nil-safe obs metrics; with no registry
+// in Params the instrumented paths cost one branch and no clock reads.
+
+import "painter/internal/obs"
+
+// solveMetrics bundles the orchestrator's metric handles.
+type solveMetrics struct {
+	iterations        *obs.Counter
+	prefixesPlaced    *obs.Counter
+	factsLearned      *obs.Counter
+	realizedBenefit   *obs.Gauge
+	solveSeconds      *obs.Histogram
+	executeSeconds    *obs.Histogram
+	prefixGrowSeconds *obs.Histogram
+	acceptedMarginal  *obs.Histogram
+}
+
+func newSolveMetrics(r *obs.Registry) solveMetrics {
+	if r == nil {
+		return solveMetrics{}
+	}
+	return solveMetrics{
+		iterations:        r.Counter("core_solve_iterations_total", "advertise-measure-learn rounds completed"),
+		prefixesPlaced:    r.Counter("core_prefixes_placed_total", "prefixes allocated by the greedy inner loop"),
+		factsLearned:      r.Counter("core_facts_learned_total", "preference facts harvested by Learn"),
+		realizedBenefit:   r.Gauge("core_realized_benefit_ms", "weighted realized benefit of the latest iteration (ms)"),
+		solveSeconds:      r.Histogram("core_solve_seconds", "wall time of one full Solve call"),
+		executeSeconds:    r.Histogram("core_execute_seconds", "wall time of one Executor.Execute call"),
+		prefixGrowSeconds: r.Histogram("core_prefix_grow_seconds", "wall time of growing one prefix's peering set"),
+		acceptedMarginal:  r.Histogram("core_accepted_marginal_benefit_ms", "marginal weighted benefit of each accepted peering (ms)"),
+	}
+}
+
+// on reports whether instrumentation is live (gates clock reads).
+func (m *solveMetrics) on() bool { return m.solveSeconds != nil }

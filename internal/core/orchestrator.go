@@ -4,8 +4,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"painter/internal/bgp"
+	"painter/internal/obs"
 	"painter/internal/usergroup"
 )
 
@@ -29,6 +31,10 @@ type Params struct {
 	ExactGreedy bool
 	// MaxPeeringsPerPrefix caps reuse breadth per prefix (0 = no cap).
 	MaxPeeringsPerPrefix int
+	// Obs, when non-nil, receives solve-loop metrics (iterations,
+	// prefixes placed, accepted marginal benefit, facts learned, wall
+	// times). Nil disables instrumentation at one-branch cost.
+	Obs *obs.Registry
 }
 
 // DefaultParams mirrors the paper's defaults (D_reuse = 3,000 km).
@@ -68,6 +74,8 @@ type Orchestrator struct {
 	// computation fast, §4).
 	byIngress map[bgp.IngressID][]int
 
+	m solveMetrics
+
 	reports []IterationReport
 }
 
@@ -87,7 +95,7 @@ func New(in Inputs, exec Executor, p Params) (*Orchestrator, error) {
 		return nil, err
 	}
 	o := &Orchestrator{in: in, exec: exec, params: p, states: states,
-		byIngress: make(map[bgp.IngressID][]int)}
+		byIngress: make(map[bgp.IngressID][]int), m: newSolveMetrics(p.Obs)}
 	for i, st := range states {
 		for ing := range st.compliant {
 			o.byIngress[ing] = append(o.byIngress[ing], i)
@@ -106,6 +114,10 @@ func (o *Orchestrator) Reports() []IterationReport { return o.reports }
 // (greedy with a refined model is not guaranteed monotone, so the
 // operator keeps the best observed strategy).
 func (o *Orchestrator) Solve() (Config, error) {
+	if o.m.on() {
+		start := time.Now()
+		defer func() { o.m.solveSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	var best Config
 	bestBenefit := math.Inf(-1)
 	prevBenefit := math.Inf(-1)
@@ -124,12 +136,22 @@ func (o *Orchestrator) Solve() (Config, error) {
 			o.reports = append(o.reports, rep)
 			return cfg, nil
 		}
+		var execStart time.Time
+		if o.m.on() {
+			execStart = time.Now()
+		}
 		obs, err := o.exec.Execute(cfg)
 		if err != nil {
 			return Config{}, fmt.Errorf("core: execute iteration %d: %w", iter+1, err)
 		}
+		if o.m.on() {
+			o.m.executeSeconds.Observe(time.Since(execStart).Seconds())
+		}
 		rep.RealizedBenefit = o.RealizedBenefit(obs)
 		rep.FactsLearned = o.Learn(cfg, obs)
+		o.m.iterations.Inc()
+		o.m.factsLearned.Add(uint64(rep.FactsLearned))
+		o.m.realizedBenefit.Set(rep.RealizedBenefit)
 		o.reports = append(o.reports, rep)
 		if rep.RealizedBenefit > bestBenefit {
 			bestBenefit = rep.RealizedBenefit
@@ -178,10 +200,18 @@ func (o *Orchestrator) ComputeConfig() Config {
 	allPeerings := o.in.Deploy.AllPeeringIDs()
 
 	for p := 0; p < o.params.PrefixBudget; p++ {
+		var growStart time.Time
+		if o.m.on() {
+			growStart = time.Now()
+		}
 		S := o.growPrefix(allPeerings, bestFrozen)
+		if o.m.on() {
+			o.m.prefixGrowSeconds.Observe(time.Since(growStart).Seconds())
+		}
 		if len(S) == 0 {
 			break // no peering offers positive benefit: further prefixes won't either
 		}
+		o.m.prefixesPlaced.Inc()
 		cfg.Prefixes = append(cfg.Prefixes, S)
 		// Freeze this prefix's contribution into bestFrozen.
 		for i, st := range o.states {
@@ -252,6 +282,7 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 			if bestX == bgp.InvalidIngress {
 				break
 			}
+			o.m.acceptedMarginal.Observe(bestM)
 			accept(bestX)
 		}
 		return S
@@ -283,6 +314,7 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 		if top.marginal <= 0 {
 			break
 		}
+		o.m.acceptedMarginal.Observe(top.marginal)
 		accept(top.ing)
 		version++
 	}

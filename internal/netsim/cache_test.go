@@ -38,7 +38,7 @@ func TestResolveCachePermutedPeeringsHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits0, miss0 := w.ResolveCacheStats()
+	s0 := w.CacheStats()
 
 	// Reverse the slice: same set, different order.
 	rev := make([]bgp.IngressID, len(all))
@@ -49,10 +49,10 @@ func TestResolveCachePermutedPeeringsHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits1, miss1 := w.ResolveCacheStats()
-	if hits1 != hits0+1 || miss1 != miss0 {
+	s1 := w.CacheStats()
+	if s1.ResolveHits != s0.ResolveHits+1 || s1.ResolveMisses != s0.ResolveMisses {
 		t.Errorf("permuted resolve: hits %d→%d misses %d→%d; want one new hit, no new miss",
-			hits0, hits1, miss0, miss1)
+			s0.ResolveHits, s1.ResolveHits, s0.ResolveMisses, s1.ResolveMisses)
 	}
 	if !routesEqual(a, b) {
 		t.Error("permuted peering slice resolved to a different selection")
@@ -62,9 +62,9 @@ func TestResolveCachePermutedPeeringsHit(t *testing.T) {
 	if _, err := w.ResolveIngress(all[:len(all)-1]); err != nil {
 		t.Fatal(err)
 	}
-	_, miss2 := w.ResolveCacheStats()
-	if miss2 != miss1+1 {
-		t.Errorf("subset resolve: misses %d→%d, want one new miss", miss1, miss2)
+	s2 := w.CacheStats()
+	if s2.ResolveMisses != s1.ResolveMisses+1 {
+		t.Errorf("subset resolve: misses %d→%d, want one new miss", s1.ResolveMisses, s2.ResolveMisses)
 	}
 }
 

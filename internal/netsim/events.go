@@ -245,7 +245,10 @@ func (w *World) ApplyEvent(ev Event) error {
 	}
 	w.eventSeq++
 	ev.Seq = w.eventSeq
+	w.obs.peeringsDown.Set(float64(len(w.peeringDown)))
+	w.obs.popsDown.Set(float64(len(w.popDown)))
 	w.overlayMu.Unlock()
+	w.obs.events[ev.Kind].Inc()
 
 	// Precise cache invalidation (see the package comment above).
 	if len(wentDown) > 0 {
@@ -257,7 +260,10 @@ func (w *World) ApplyEvent(ev Event) error {
 	if ev.Kind == EventPrefFlip {
 		k := prefKey{as: ev.AS, ing: ev.Ingress}
 		w.prefMu.Lock()
-		delete(w.prefCache, k)
+		if _, ok := w.prefCache[k]; ok {
+			delete(w.prefCache, k)
+			w.obs.prefInval.Inc()
+		}
 		w.prefMu.Unlock()
 		w.dropResolveContaining(ev.Ingress)
 	}
@@ -352,6 +358,7 @@ func (w *World) invalidateBestForDown(ids []bgp.IngressID) {
 	for k, v := range w.bestIng {
 		if v.err == nil && down[v.ing] {
 			delete(w.bestIng, k)
+			w.obs.bestInval.Inc()
 		}
 	}
 	w.polMu.Unlock()
@@ -402,6 +409,7 @@ func (w *World) invalidateBestForUp(ids []bgp.IngressID) {
 		delete(w.bestIng, k)
 	}
 	w.polMu.Unlock()
+	w.obs.bestInval.Add(uint64(len(stale)))
 }
 
 // dropResolveContaining removes propagation-cache entries whose peering
@@ -412,6 +420,7 @@ func (w *World) dropResolveContaining(id bgp.IngressID) {
 	for key := range w.resolveCache {
 		if resolveKeyContains(key, id) {
 			delete(w.resolveCache, key)
+			w.obs.resolveInval.Inc()
 		}
 	}
 	w.resolveMu.Unlock()

@@ -59,7 +59,7 @@ func TestPeeringDownRemovesRoutesAndUpRestoresFromCache(t *testing.T) {
 	// Recovery must reproduce the original selection exactly — and from
 	// the cache: the canonical key filters down peerings before lookup,
 	// so the pre-failure entry is still valid.
-	hits0, miss0 := w.ResolveCacheStats()
+	s0 := w.CacheStats()
 	if err := w.ApplyEvent(Event{Kind: EventPeeringUp, Ingress: victim}); err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +70,10 @@ func TestPeeringDownRemovesRoutesAndUpRestoresFromCache(t *testing.T) {
 	if !routesEqual(before, after) {
 		t.Error("selection after recovery differs from pre-failure selection")
 	}
-	hits1, miss1 := w.ResolveCacheStats()
-	if hits1 != hits0+1 || miss1 != miss0 {
+	s1 := w.CacheStats()
+	if s1.ResolveHits != s0.ResolveHits+1 || s1.ResolveMisses != s0.ResolveMisses {
 		t.Errorf("recovery resolve: hits %d→%d misses %d→%d; want a cache hit",
-			hits0, hits1, miss0, miss1)
+			s0.ResolveHits, s1.ResolveHits, s0.ResolveMisses, s1.ResolveMisses)
 	}
 }
 
@@ -216,22 +216,27 @@ func TestPrefFlipInvalidatesOnlyEntriesContainingIngress(t *testing.T) {
 	}
 
 	// The entry not containing the flipped ingress must still be cached.
-	hits0, miss0 := w.ResolveCacheStats()
+	s0 := w.CacheStats()
 	if _, err := w.ResolveIngress(without); err != nil {
 		t.Fatal(err)
 	}
-	hits1, miss1 := w.ResolveCacheStats()
-	if hits1 != hits0+1 || miss1 != miss0 {
+	s1 := w.CacheStats()
+	if s1.ResolveHits != s0.ResolveHits+1 || s1.ResolveMisses != s0.ResolveMisses {
 		t.Errorf("unaffected entry: hits %d→%d misses %d→%d; want a cache hit",
-			hits0, hits1, miss0, miss1)
+			s0.ResolveHits, s1.ResolveHits, s0.ResolveMisses, s1.ResolveMisses)
 	}
 	// The entry containing it must have been dropped (a fresh miss).
 	if _, err := w.ResolveIngress(all); err != nil {
 		t.Fatal(err)
 	}
-	_, miss2 := w.ResolveCacheStats()
-	if miss2 != miss1+1 {
-		t.Errorf("affected entry: misses %d→%d, want one new miss", miss1, miss2)
+	s2 := w.CacheStats()
+	if s2.ResolveMisses != s1.ResolveMisses+1 {
+		t.Errorf("affected entry: misses %d→%d, want one new miss", s1.ResolveMisses, s2.ResolveMisses)
+	}
+	// The flip's invalidation is visible in the unified stats: at least
+	// one resolve entry was dropped, and the event counter advanced.
+	if s0.ResolveInvalidations == 0 {
+		t.Error("pref flip recorded no resolve-cache invalidation")
 	}
 }
 

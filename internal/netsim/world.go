@@ -63,13 +63,16 @@ type World struct {
 	// hot-potato bias in route tie-breaking.
 	asHome map[topology.ASN]geo.Coord
 
+	// obs holds the world's metrics registry and handles (see obs.go);
+	// cache counters replace the old ad-hoc stat fields and surface
+	// through CacheStats() and Obs().
+	obs worldObs
+
 	// resolveMu guards the propagation cache: ResolveIngress results
 	// keyed by the canonical (sorted) peering set plus the world day.
 	// SetDay/AdvanceTo drop the cache wholesale.
 	resolveMu    sync.Mutex
 	resolveCache map[string]*resolveEntry
-	resolveHits  uint64
-	resolveMiss  uint64
 
 	// prefMu guards the hidden-preference cache: prefScore is pure per
 	// (AS, ingress, day) and called for every tie-break candidate, so
@@ -199,6 +202,7 @@ func NewWithConfig(g *topology.Graph, d *cloud.Deployment, seed int64, cfg Confi
 		Deploy:    d,
 		seed:      uint64(seed),
 		cfg:       cfg,
+		obs:       newWorldObs(),
 		popCoord:  make(map[bgp.IngressID]geo.Coord, len(d.Peerings)),
 		peerASNOf: make(map[bgp.IngressID]topology.ASN, len(d.Peerings)),
 		transit:   make(map[bgp.IngressID]bool, len(d.Peerings)),
@@ -252,10 +256,13 @@ func (w *World) SetDay(d int) {
 		return
 	}
 	w.day = d
+	w.obs.day.Set(float64(d))
 	w.resolveMu.Lock()
+	w.obs.resolveInval.Add(uint64(len(w.resolveCache)))
 	w.resolveCache = make(map[string]*resolveEntry)
 	w.resolveMu.Unlock()
 	w.prefMu.Lock()
+	w.obs.prefInval.Add(uint64(len(w.prefCache)))
 	w.prefCache = make(map[prefKey]float64)
 	w.prefMu.Unlock()
 }
@@ -442,8 +449,10 @@ func (w *World) prefScore(as topology.ASN, ing bgp.IngressID) float64 {
 	s, ok := w.prefCache[k]
 	w.prefMu.RUnlock()
 	if ok {
+		w.obs.prefHits.Inc()
 		return s
 	}
+	w.obs.prefMiss.Inc()
 	s = w.prefScoreUncached(as, ing)
 	w.prefMu.Lock()
 	if w.prefCache == nil {
@@ -520,9 +529,9 @@ func (w *World) ResolveIngress(peerings []bgp.IngressID) (map[topology.ASN]bgp.R
 	}
 	e, ok := w.resolveCache[key]
 	if ok {
-		w.resolveHits++
+		w.obs.resolveHits.Inc()
 	} else {
-		w.resolveMiss++
+		w.obs.resolveMiss.Inc()
 		e = &resolveEntry{}
 		w.resolveCache[key] = e
 	}
@@ -551,14 +560,6 @@ func resolveKey(day int, sorted []bgp.IngressID) string {
 		binary.LittleEndian.PutUint32(b[8+4*i:], uint32(id))
 	}
 	return string(b)
-}
-
-// ResolveCacheStats reports propagation-cache hits and misses since the
-// world was created (invalidation does not reset the counters).
-func (w *World) ResolveCacheStats() (hits, misses uint64) {
-	w.resolveMu.Lock()
-	defer w.resolveMu.Unlock()
-	return w.resolveHits, w.resolveMiss
 }
 
 // --- Policy compliance --------------------------------------------------------
@@ -620,9 +621,11 @@ func (w *World) policyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error
 	}
 	if c, ok := w.policy[asn]; ok {
 		w.polMu.Unlock()
+		w.obs.policyHits.Inc()
 		return c, nil
 	}
 	w.polMu.Unlock()
+	w.obs.policyMiss.Inc()
 	up := w.ancestorsOf(asn)
 	// upPeer: up ∪ peers(up).
 	upPeer := make(map[topology.ASN]bool, len(up)*3)
@@ -673,9 +676,11 @@ func (w *World) BestIngressLatency(asn topology.ASN, metro string) (float64, bgp
 	}
 	if v, ok := w.bestIng[k]; ok {
 		w.polMu.Unlock()
+		w.obs.bestHits.Inc()
 		return v.ms, v.ing, v.err
 	}
 	w.polMu.Unlock()
+	w.obs.bestMiss.Inc()
 	ms, ing, err := w.bestIngressLatency(asn, metro)
 	w.polMu.Lock()
 	w.bestIng[k] = bestVal{ms: ms, ing: ing, err: err}

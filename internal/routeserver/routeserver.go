@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"painter/internal/bgp"
+	"painter/internal/obs"
 )
 
 // Config configures a route server.
@@ -32,6 +33,9 @@ type Config struct {
 	Damping *bgp.DampingConfig
 	// Logf, when set, receives event logs.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives route-server metrics (update/withdraw
+	// counters, session and flap-damping gauges).
+	Obs *obs.Registry
 }
 
 // Server is a running route server.
@@ -49,8 +53,44 @@ type Server struct {
 	withdraws  atomic.Uint64
 	suppressed atomic.Uint64
 
+	m rsMetrics
+
 	wg     sync.WaitGroup
 	closed chan struct{}
+}
+
+// rsMetrics bundles the route server's obs handles (nil-safe).
+type rsMetrics struct {
+	updates    *obs.Counter
+	withdraws  *obs.Counter
+	suppressed *obs.Counter
+	sessionsUp *obs.Counter
+}
+
+func newRSMetrics(r *obs.Registry, s *Server) rsMetrics {
+	if r == nil {
+		return rsMetrics{}
+	}
+	m := rsMetrics{
+		updates:    r.Counter("routeserver_updates_total", "NLRI announcements received"),
+		withdraws:  r.Counter("routeserver_withdraws_total", "prefix withdrawals received"),
+		suppressed: r.Counter("routeserver_suppressed_total", "announcements suppressed by flap damping"),
+		sessionsUp: r.Counter("routeserver_sessions_opened_total", "BGP sessions accepted"),
+	}
+	r.GaugeFunc("routeserver_sessions", "live BGP sessions", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+	r.GaugeFunc("routeserver_rib_prefixes", "prefixes in the RIB", func() float64 {
+		return float64(s.rib.Size())
+	})
+	if s.dmp != nil {
+		r.GaugeFunc("routeserver_damped_prefixes", "prefixes currently suppressed by flap damping", func() float64 {
+			return float64(s.dmp.SuppressedCount())
+		})
+	}
+	return m
 }
 
 type session struct {
@@ -81,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Damping != nil {
 		s.dmp = bgp.NewDamper(*cfg.Damping, nil)
 	}
+	s.m = newRSMetrics(cfg.Obs, s)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -165,6 +206,7 @@ func (s *Server) serve(conn net.Conn) {
 	sess := &session{id: id, speaker: sp, remote: conn.RemoteAddr().String()}
 	s.sessions[id] = sess
 	s.mu.Unlock()
+	s.m.sessionsUp.Inc()
 	s.cfg.Logf("routeserver: session %d up with AS%d (%s)", id, sp.PeerOpen.AS, sess.remote)
 
 	sp.OnUpdate = func(u bgp.Update) { s.handleUpdate(id, sp.PeerOpen.AS, u) }
@@ -180,6 +222,7 @@ func (s *Server) serve(conn net.Conn) {
 func (s *Server) handleUpdate(peer bgp.PeerID, peerAS uint16, u bgp.Update) {
 	for _, p := range u.Withdrawn {
 		s.withdraws.Add(1)
+		s.m.withdraws.Inc()
 		if s.dmp != nil {
 			s.dmp.OnWithdraw(p)
 		}
@@ -187,10 +230,12 @@ func (s *Server) handleUpdate(peer bgp.PeerID, peerAS uint16, u bgp.Update) {
 	}
 	for _, p := range u.NLRI {
 		s.updates.Add(1)
+		s.m.updates.Inc()
 		if s.dmp != nil {
 			s.dmp.OnAttrChange(p)
 			if s.dmp.Suppressed(p) {
 				s.suppressed.Add(1)
+				s.m.suppressed.Inc()
 				continue
 			}
 		}

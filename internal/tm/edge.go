@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"painter/internal/obs"
 	"painter/internal/tmproto"
 )
 
@@ -56,6 +57,9 @@ type EdgeConfig struct {
 	// OnEvent, if set, receives state-change events (selection changes,
 	// destination death/recovery).
 	OnEvent func(Event)
+	// Obs, when non-nil, receives edge metrics (probe RTT, failover
+	// detection and backoff histograms, activity counters).
+	Obs *obs.Registry
 }
 
 // DefaultEdgeConfig returns production-shaped defaults (timers scaled
@@ -153,6 +157,8 @@ type Edge struct {
 	wg     sync.WaitGroup
 	closed chan struct{}
 
+	m edgeMetrics
+
 	statsMu sync.Mutex
 	stats   EdgeStats
 }
@@ -204,6 +210,7 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 		_ = conn.Close()
 		return nil, err
 	}
+	e.m = newEdgeMetrics(cfg.Obs, e)
 	e.wg.Add(2)
 	go e.readLoop()
 	go e.probeLoop()
@@ -373,6 +380,7 @@ func (e *Edge) Send(flow tmproto.FlowKey, payload []byte) error {
 			e.statsMu.Lock()
 			e.stats.RepinnedFlows++
 			e.statsMu.Unlock()
+			e.m.repins.Inc()
 		}
 		e.flows[flow] = destKey(sel.dest)
 		ds = sel
@@ -390,6 +398,7 @@ func (e *Edge) Send(flow tmproto.FlowKey, payload []byte) error {
 	e.statsMu.Lock()
 	e.stats.DataSent++
 	e.statsMu.Unlock()
+	e.m.dataSent.Inc()
 	return nil
 }
 
@@ -461,6 +470,7 @@ func (e *Edge) probeRound(now time.Time) {
 			ds.deadProbes = 0
 			ds.quarantined = false
 			ds.nextRecovery = now // first recovery probe goes out at once
+			e.m.failoverDetectionMs.Observe(float64(now.Sub(ds.lastReply)) / float64(time.Millisecond))
 			events = append(events, Event{
 				Kind: EventDestDead, Dest: ds.dest, At: now,
 				SinceLastReply: now.Sub(ds.lastReply),
@@ -498,6 +508,7 @@ func (e *Edge) probeRound(now time.Time) {
 				ds.deadProbes++
 				backoff := e.backoffAfter(ds.deadProbes, seq)
 				ds.nextRecovery = now.Add(backoff)
+				e.m.backoffMs.Observe(float64(backoff) / float64(time.Millisecond))
 				if !ds.quarantined && ds.deadProbes >= e.cfg.QuarantineAfter {
 					ds.quarantined = true
 					e.statsMu.Lock()
@@ -523,6 +534,7 @@ func (e *Edge) probeRound(now time.Time) {
 		e.statsMu.Lock()
 		e.stats.ProbesSent++
 		e.statsMu.Unlock()
+		e.m.probesSent.Inc()
 	}
 	e.emit(events)
 }
@@ -574,6 +586,7 @@ func (e *Edge) reselectLocked(now time.Time) []Event {
 		e.statsMu.Lock()
 		e.stats.Failovers++
 		e.statsMu.Unlock()
+		e.m.failovers.Inc()
 	}
 	return []Event{{
 		Kind: EventSelected, Dest: best.dest, Prev: prev, At: now,
@@ -620,11 +633,11 @@ func (e *Edge) gcSeqOwnerLocked() {
 }
 
 func (e *Edge) emit(events []Event) {
-	if e.cfg.OnEvent == nil {
-		return
-	}
 	for _, ev := range events {
-		e.cfg.OnEvent(ev)
+		e.m.events[ev.Kind].Inc()
+		if e.cfg.OnEvent != nil {
+			e.cfg.OnEvent(ev)
+		}
 	}
 }
 
@@ -656,6 +669,7 @@ func (e *Edge) readLoop() {
 			e.statsMu.Lock()
 			e.stats.DataRcvd++
 			e.statsMu.Unlock()
+			e.m.dataRcvd.Inc()
 			if e.cfg.OnReturn != nil {
 				payload := append([]byte(nil), d.Payload...)
 				e.cfg.OnReturn(d.Flow, payload)
@@ -700,5 +714,7 @@ func (e *Edge) handleProbeReply(p tmproto.Probe) {
 	e.statsMu.Lock()
 	e.stats.RepliesRcvd++
 	e.statsMu.Unlock()
+	e.m.repliesRcvd.Inc()
+	e.m.probeRTTMs.Observe(rttMs)
 	e.emit(events)
 }

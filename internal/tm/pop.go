@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"painter/internal/obs"
 	"painter/internal/tmproto"
 )
 
@@ -50,6 +51,9 @@ type PoPConfig struct {
 	// dropped replies) so tests and operators can assert the failover
 	// timeline from the PoP side too.
 	OnEvent func(PoPEvent)
+	// Obs, when non-nil, receives PoP metrics (datagram counters and the
+	// active-flows gauge).
+	Obs *obs.Registry
 }
 
 // PoPEventKind discriminates PoP events.
@@ -99,6 +103,8 @@ type PoP struct {
 
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	m popMetrics
 
 	statsMu sync.Mutex
 	stats   PoPStats
@@ -150,6 +156,7 @@ func NewPoP(cfg PoPConfig) (*PoP, error) {
 		dests:  append([]tmproto.Destination(nil), cfg.Destinations...),
 		closed: make(chan struct{}),
 	}
+	p.m = newPoPMetrics(cfg.Obs, p)
 	p.wg.Add(1)
 	go p.readLoop()
 	return p, nil
@@ -219,11 +226,13 @@ func (p *PoP) readLoop() {
 		t, err := tmproto.PeekType(buf[:n])
 		if err != nil {
 			p.bump(func(s *PoPStats) { s.Malformed++ })
+			p.m.malformed.Inc()
 			continue
 		}
 		switch t {
 		case tmproto.TypeProbe:
 			p.bump(func(s *PoPStats) { s.Probes++ })
+			p.m.probes.Inc()
 			if reply, err := tmproto.MakeReply(buf[:n]); err == nil {
 				_, _ = p.conn.WriteToUDP(reply, from)
 			}
@@ -231,17 +240,21 @@ func (p *PoP) readLoop() {
 			d, err := tmproto.ParseData(buf[:n])
 			if err != nil {
 				p.bump(func(s *PoPStats) { s.Malformed++ })
+				p.m.malformed.Inc()
 				continue
 			}
 			p.bump(func(s *PoPStats) { s.DataIn++ })
+			p.m.dataIn.Inc()
 			p.handleData(d, from)
 		case tmproto.TypeResolve:
 			r, err := tmproto.ParseResolve(buf[:n])
 			if err != nil {
 				p.bump(func(s *PoPStats) { s.Malformed++ })
+				p.m.malformed.Inc()
 				continue
 			}
 			p.bump(func(s *PoPStats) { s.Resolves++ })
+			p.m.resolves.Inc()
 			p.mu.Lock()
 			dests := append([]tmproto.Destination(nil), p.dests...)
 			p.mu.Unlock()
@@ -253,6 +266,7 @@ func (p *PoP) readLoop() {
 			}
 		default:
 			p.bump(func(s *PoPStats) { s.Unknown++ })
+			p.m.unknown.Inc()
 		}
 	}
 }
@@ -285,6 +299,7 @@ func (p *PoP) handleData(d tmproto.Data, from *net.UDPAddr) {
 	p.mu.Unlock()
 	if moved != nil {
 		p.bump(func(s *PoPStats) { s.FlowMoves++ })
+		p.m.flowMoves.Inc()
 		p.emit(*moved)
 	}
 
@@ -300,6 +315,7 @@ func (p *PoP) handleData(d tmproto.Data, from *net.UDPAddr) {
 		p.mu.Unlock()
 		if edge == nil {
 			p.bump(func(s *PoPStats) { s.DroppedReplies++ })
+			p.m.dropped.Inc()
 			p.emit(PoPEvent{Kind: PoPReplyDropped, Flow: flow, At: time.Now()})
 			return fmt.Errorf("tm: flow %v no longer known", flow)
 		}
@@ -311,6 +327,7 @@ func (p *PoP) handleData(d tmproto.Data, from *net.UDPAddr) {
 			return err
 		}
 		p.bump(func(s *PoPStats) { s.DataOut++ })
+		p.m.dataOut.Inc()
 		return nil
 	}
 	p.cfg.Service.Handle(flow, payload, reply)
@@ -329,5 +346,6 @@ func (p *PoP) purge(now time.Time) {
 	p.mu.Unlock()
 	if purged > 0 {
 		p.bump(func(s *PoPStats) { s.Purged += purged })
+		p.m.purged.Add(uint64(purged))
 	}
 }
