@@ -9,12 +9,18 @@ COVER_FLOOR = 70
 # Native fuzz targets smoke-tested by `make fuzz` (one -fuzz per run).
 FUZZ_TIME ?= 10s
 
-.PHONY: all build vet test race fuzz cover lint bench bench-json bench-obs experiments examples clean
+.PHONY: all build build-obsstrip vet test race fuzz cover lint bench bench-json bench-obs experiments examples clean
 
-all: build vet test
+all: build build-obsstrip vet test
 
 build:
 	$(GO) build ./...
+
+# The obsstrip build compiles all tracing out; building and vetting it
+# keeps both halves of the build-tag pair honest.
+build-obsstrip:
+	$(GO) build -tags obsstrip ./...
+	$(GO) vet -tags obsstrip ./...
 
 vet:
 	$(GO) vet ./...
@@ -34,7 +40,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/controlapi/
+	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/obs/span/ ./internal/controlapi/
 
 # Short fuzzing smoke on the wire decoders: each target runs for
 # FUZZ_TIME (go test allows one -fuzz pattern per invocation).
@@ -69,7 +75,7 @@ bench-json:
 # build. Both invocations merge into one BENCH_OBS.json.
 bench-obs:
 	rm -f BENCH_OBS.json
-	$(GO) run ./cmd/benchobs -modes noop,live -out BENCH_OBS.json
+	$(GO) run ./cmd/benchobs -modes noop,live,trace_off,trace_sampled,trace_full -out BENCH_OBS.json
 	$(GO) run -tags obsstrip ./cmd/benchobs -modes stripped -out BENCH_OBS.json
 
 # Regenerate every table/figure at prototype (PEERING) scale.

@@ -1,11 +1,13 @@
 // Command benchobs measures the observability overhead on the hot path:
-// bgp.Propagate with live obs instrumentation vs the no-op default.
-// Built with -tags obsstrip the same binary measures the compile-time
-// stripped variant (the instrumentation branch is constant-folded away).
+// bgp.Propagate with live obs instrumentation vs the no-op default, and
+// bgp.PropagateTraced with tracing off, head-sampled, and at full
+// sampling. Built with -tags obsstrip the same binary measures the
+// compile-time stripped variant (the instrumentation branch is
+// constant-folded away).
 //
-// `make bench-obs` runs both builds and merges the three modes into
+// `make bench-obs` runs both builds and merges all modes into
 // BENCH_OBS.json; the acceptance contract is live-vs-noop overhead
-// within a few percent.
+// within a few percent and sampled tracing within 3% of tracing off.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"painter/internal/bgp"
 	"painter/internal/experiments"
 	"painter/internal/obs"
+	"painter/internal/obs/span"
 )
 
 // Result records one mode's benchmark numbers.
@@ -29,20 +32,28 @@ type Result struct {
 	Iterations  int     `json:"iterations"`
 }
 
-// Report is the BENCH_OBS.json schema. Modes maps "noop", "live", and
-// "stripped" to their numbers; OverheadPct compares live to noop once
-// both are present.
+// Report is the BENCH_OBS.json schema. Modes maps "noop", "live",
+// "stripped", "trace_off", "trace_sampled", and "trace_full" to their
+// numbers; the overhead fields compare pairs once both are present.
 type Report struct {
 	Scale       string            `json:"scale"`
 	Seed        int64             `json:"seed"`
+	TraceSample int               `json:"trace_sample"`
 	Modes       map[string]Result `json:"modes"`
 	OverheadPct float64           `json:"live_vs_noop_overhead_pct"`
+	// TraceSampledPct is sampled tracing vs tracing off — the cost a
+	// production deployment pays (acceptance: ≤3%). TraceFullPct is the
+	// worst case with every propagate traced.
+	TraceSampledPct float64 `json:"sampled_vs_off_trace_overhead_pct"`
+	TraceFullPct    float64 `json:"full_vs_off_trace_overhead_pct"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_OBS.json", "output file (merged with existing modes)")
 	seed := flag.Int64("seed", 7, "environment seed")
-	modes := flag.String("modes", "noop,live", "comma-separated modes to run (noop, live, stripped)")
+	modes := flag.String("modes", "noop,live", "comma-separated modes to run (noop, live, stripped, trace_off, trace_sampled, trace_full)")
+	sample := flag.Int("trace-sample", 64, "head-sampling rate for trace_sampled (1 in N)")
+	reps := flag.Int("reps", 5, "benchmark repetitions per mode (best-of)")
 	flag.Parse()
 
 	env, err := experiments.NewEnv(experiments.ScaleSmall, *seed)
@@ -56,15 +67,11 @@ func main() {
 	env.Graph.Index()
 	tb := env.World.TieBreaker()
 
-	run := func() Result {
-		// Warm caches so the measurement is steady-state propagation.
-		if _, err := bgp.Propagate(env.Graph, inj, tb); err != nil {
-			fatal(err)
-		}
+	runOnce := func(op func() error) Result {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := bgp.Propagate(env.Graph, inj, tb); err != nil {
+				if err := op(); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -74,6 +81,20 @@ func main() {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Iterations:  r.N,
+		}
+	}
+	plain := func() error {
+		_, err := bgp.Propagate(env.Graph, inj, tb)
+		return err
+	}
+	// traced wraps each propagate in a (possibly sampled-out) root span —
+	// the same shape the solve loop produces per prefix.
+	traced := func(tracer *span.Tracer) func() error {
+		return func() error {
+			root := tracer.StartRoot("bench.propagate")
+			_, err := bgp.PropagateTraced(env.Graph, inj, tb, root)
+			root.Finish()
+			return err
 		}
 	}
 
@@ -87,27 +108,75 @@ func main() {
 		}
 	}
 
+	rep.TraceSample = *sample
+	type benchMode struct {
+		name string
+		reg  *obs.Registry
+		op   func() error
+	}
+	var order []benchMode
 	for _, mode := range strings.Split(*modes, ",") {
 		mode = strings.TrimSpace(mode)
+		bm := benchMode{name: mode, op: plain}
 		switch mode {
 		case "noop", "stripped":
-			bgp.InstrumentPropagate(nil)
 		case "live":
-			bgp.InstrumentPropagate(obs.NewRegistry())
+			bm.reg = obs.NewRegistry()
+		case "trace_off":
+			bm.op = traced(nil)
+		case "trace_sampled":
+			bm.op = traced(span.New(span.Config{Seed: 9, Sample: *sample}))
+		case "trace_full":
+			bm.op = traced(span.New(span.Config{Seed: 9, Sample: 1}))
 		default:
 			fatal(fmt.Errorf("unknown mode %q", mode))
 		}
-		res := run()
-		rep.Modes[mode] = res
-		fmt.Printf("%-9s %10.0f ns/op  %6d allocs/op  %8d B/op\n",
-			mode, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		order = append(order, bm)
+	}
+	// Repetitions are interleaved across modes — running each mode's reps
+	// back to back lets thermal/scheduler drift masquerade as overhead of
+	// whichever mode happens to run last. Best-of per mode estimates
+	// intrinsic cost under that drift.
+	best := map[string]Result{}
+	for r := 0; r < *reps; r++ {
+		for _, bm := range order {
+			bgp.InstrumentPropagate(bm.reg)
+			// Warm caches so the measurement is steady-state propagation.
+			if err := bm.op(); err != nil {
+				fatal(err)
+			}
+			res := runOnce(bm.op)
+			if prev, ok := best[bm.name]; !ok || res.NsPerOp < prev.NsPerOp {
+				best[bm.name] = res
+			}
+		}
+	}
+	for _, bm := range order {
+		res := best[bm.name]
+		rep.Modes[bm.name] = res
+		fmt.Printf("%-13s %10.0f ns/op  %6d allocs/op  %8d B/op\n",
+			bm.name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 	}
 
-	if noop, ok := rep.Modes["noop"]; ok {
-		if live, ok := rep.Modes["live"]; ok && noop.NsPerOp > 0 {
-			rep.OverheadPct = (live.NsPerOp - noop.NsPerOp) / noop.NsPerOp * 100
-			fmt.Printf("live vs noop overhead: %+.2f%%\n", rep.OverheadPct)
+	overhead := func(base, probe string) (float64, bool) {
+		b, okB := rep.Modes[base]
+		p, okP := rep.Modes[probe]
+		if !okB || !okP || b.NsPerOp <= 0 {
+			return 0, false
 		}
+		return (p.NsPerOp - b.NsPerOp) / b.NsPerOp * 100, true
+	}
+	if pct, ok := overhead("noop", "live"); ok {
+		rep.OverheadPct = pct
+		fmt.Printf("live vs noop overhead: %+.2f%%\n", pct)
+	}
+	if pct, ok := overhead("trace_off", "trace_sampled"); ok {
+		rep.TraceSampledPct = pct
+		fmt.Printf("sampled (1/%d) tracing vs off: %+.2f%%\n", *sample, pct)
+	}
+	if pct, ok := overhead("trace_off", "trace_full"); ok {
+		rep.TraceFullPct = pct
+		fmt.Printf("full tracing vs off: %+.2f%%\n", pct)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

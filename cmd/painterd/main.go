@@ -10,6 +10,8 @@
 //	GET  /reports           per-iteration learning reports
 //	GET  /metrics           Prometheus text exposition
 //	GET  /debug/obs         merged obs snapshot as JSON
+//	GET  /debug/trace       flight recorder as Chrome trace-event JSON
+//	GET  /debug/pprof/      runtime profiles (with -pprof)
 //
 // Computed configurations can also be announced over BGP to a route
 // server (-route-server host:port) — the "advertisement installation"
@@ -20,7 +22,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"painter/internal/controlapi"
+	"painter/internal/daemon"
 	"painter/internal/experiments"
 	"painter/internal/obs"
 )
@@ -40,7 +42,14 @@ func main() {
 		seed        = flag.Int64("seed", 7, "world seed")
 		routeServer = flag.String("route-server", "", "optional BGP route server to announce configs to (host:port)")
 	)
+	of := daemon.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := of.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -54,36 +63,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	log.Printf("painterd: building %s environment (seed %d)", *scale, *seed)
+	logger.Info("building environment", "scale", *scale, "seed", *seed)
 	env, err := experiments.NewEnv(sc, *seed)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("environment build failed", "err", err)
+		os.Exit(1)
 	}
+	tracer := of.Tracer("painterd")
 	srv := controlapi.New(env, *routeServer)
+	srv.Trace = tracer
+	srv.Pprof = of.Pprof
 
 	st := env.Deploy.Stats()
-	log.Printf("painterd: ready — %d PoPs, %d peerings (%d transit), %d UGs; listening on %s",
-		st.PoPs, st.Peerings, st.Transit, env.UGs.Len(), *listen)
+	logger.Info("ready",
+		"pops", st.PoPs, "peerings", st.Peerings, "transit", st.Transit,
+		"ugs", env.UGs.Len(), "listen", *listen,
+		"tracing", tracer != nil, "pprof", of.Pprof)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen failed", "addr", *listen, "err", err)
+		os.Exit(1)
 	}
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
+			logger.Error("http server failed", "err", err)
+			os.Exit(1)
 		}
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("painterd: shutting down")
+	logger.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(ctx)
 	_ = srv.Close()
+	of.DumpTrace(tracer, logger)
 	// Final observability flush on stderr for log-harvesting supervisors.
 	_ = obs.DumpSnapshot(os.Stderr, srv.Obs(), env.World.Obs())
 }

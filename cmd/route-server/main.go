@@ -10,13 +10,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"painter/internal/bgp"
+	"painter/internal/daemon"
 	"painter/internal/obs"
 	"painter/internal/routeserver"
 )
@@ -27,9 +27,17 @@ func main() {
 		localAS = flag.Uint("as", 64999, "local AS number")
 		damping = flag.Bool("damping", true, "enable RFC 2439 route-flap damping")
 		logIv   = flag.Duration("log-interval", 10*time.Second, "RIB summary logging interval (0 = off)")
-		metrics = flag.String("metrics-listen", "", "HTTP address for /metrics and /debug/obs (empty = off)")
+		metrics = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/trace (empty = off)")
 	)
+	of := daemon.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := of.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tracer := of.Tracer("route-server")
 
 	reg := obs.NewRegistry()
 	cfg := routeserver.Config{
@@ -37,8 +45,11 @@ func main() {
 		LocalAS:    uint16(*localAS),
 		BGPID:      0x0a00f311,
 		HoldTime:   30 * time.Second,
-		Logf:       routeserver.LogfStd,
-		Obs:        reg,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+		Obs:    reg,
+		Tracer: tracer,
 	}
 	if *damping {
 		d := bgp.DefaultDampingConfig()
@@ -46,18 +57,23 @@ func main() {
 	}
 	srv, err := routeserver.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("start failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("route-server: AS%d listening on %s (damping=%v)", *localAS, srv.Addr(), *damping)
+	logger.Info("listening", "as", *localAS, "addr", srv.Addr(),
+		"damping", *damping, "tracing", tracer != nil)
 
 	var ms *obs.MetricsServer
 	if *metrics != "" {
-		ms, err = obs.StartServer(*metrics, reg)
+		ms, err = obs.StartServerWith(*metrics, obs.MuxConfig{
+			Regs: []*obs.Registry{reg}, Trace: tracer, Pprof: of.Pprof,
+		})
 		if err != nil {
 			_ = srv.Close()
-			log.Fatal(err)
+			logger.Error("metrics listen failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("route-server: metrics on http://%s/metrics", ms.Addr())
+		logger.Info("metrics up", "url", "http://"+ms.Addr()+"/metrics", "pprof", of.Pprof)
 	}
 
 	if *logIv > 0 {
@@ -66,8 +82,10 @@ func main() {
 			defer t.Stop()
 			for range t.C {
 				st := srv.Stats()
-				log.Printf("rib: %d prefixes, %d sessions, %d updates, %d withdraws, %d suppressed",
-					st.Prefixes, st.Sessions, st.Updates, st.Withdraws, st.SuppressedAnnounces)
+				logger.Info("rib summary",
+					"prefixes", st.Prefixes, "sessions", st.Sessions,
+					"updates", st.Updates, "withdraws", st.Withdraws,
+					"suppressed", st.SuppressedAnnounces)
 				for _, p := range srv.RIB().Prefixes() {
 					if e, ok := srv.RIB().Best(p); ok {
 						fmt.Printf("  %-18s via peer %d path %v\n", p, e.Peer, e.ASPath)
@@ -80,9 +98,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("route-server: shutting down")
+	logger.Info("shutting down")
 	_ = ms.Shutdown()
 	_ = srv.Close()
+	of.DumpTrace(tracer, logger)
 	// Final observability flush: one merged JSON snapshot on stderr so a
 	// supervisor harvesting logs keeps the last counters.
 	_ = obs.DumpSnapshot(os.Stderr, reg)

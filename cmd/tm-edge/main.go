@@ -11,13 +11,16 @@
 //
 // With -demo, the edge generates a probe flow and prints per-second
 // status lines (selected destination, per-destination RTTs) — a live
-// miniature of Fig. 10.
+// miniature of Fig. 10. With -trace-sample, failover chains are traced
+// end to end (probe silence → dead → reselect → repin, stitched with
+// the PoP's re-home via trace context on the wire) and log lines carry
+// the failover's trace ID.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -26,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"painter/internal/daemon"
 	"painter/internal/obs"
 	"painter/internal/tm"
 	"painter/internal/tmproto"
@@ -64,16 +68,25 @@ func main() {
 		probeIv  = flag.Duration("probe-interval", 50*time.Millisecond, "probe cadence per destination")
 		demo     = flag.Bool("demo", false, "send a demo flow and print per-second status")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
-		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics and /debug/obs (empty = off)")
+		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/trace (empty = off)")
 	)
 	flag.Var(&dests, "dest", "tunnel destination (addr:port,popid[,anycast]); repeatable")
+	of := daemon.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := of.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tracer := of.Tracer("tm-edge")
 
 	reg := obs.NewRegistry()
 	cfg := tm.DefaultEdgeConfig()
 	cfg.ProbeInterval = *probeIv
 	cfg.Destinations = dests
 	cfg.Obs = reg
+	cfg.Tracer = tracer
 	cfg.OnEvent = func(ev tm.Event) {
 		switch ev.Kind {
 		case tm.EventSelected:
@@ -81,46 +94,62 @@ func main() {
 			if ev.Prev != nil {
 				prev = fmt.Sprintf("%s:%d", ev.Prev.Addr, ev.Prev.Port)
 			}
-			log.Printf("selected %s:%d (PoP %d, rtt %v) over %s",
-				ev.Dest.Addr, ev.Dest.Port, ev.Dest.PoP, ev.RTT.Truncate(time.Microsecond), prev)
+			logger.Info("selected destination", append([]any{
+				slog.String("dest", fmt.Sprintf("%s:%d", ev.Dest.Addr, ev.Dest.Port)),
+				slog.Uint64("pop", uint64(ev.Dest.PoP)),
+				slog.Duration("rtt", ev.RTT.Truncate(time.Microsecond)),
+				slog.String("prev", prev),
+			}, daemon.TraceAttrs(ev.Trace)...)...)
 		case tm.EventDestDead:
-			log.Printf("destination %s:%d (PoP %d) DEAD after %v silence",
-				ev.Dest.Addr, ev.Dest.Port, ev.Dest.PoP, ev.SinceLastReply.Truncate(time.Millisecond))
+			logger.Warn("destination dead", append([]any{
+				slog.String("dest", fmt.Sprintf("%s:%d", ev.Dest.Addr, ev.Dest.Port)),
+				slog.Uint64("pop", uint64(ev.Dest.PoP)),
+				slog.Duration("silence", ev.SinceLastReply.Truncate(time.Millisecond)),
+			}, daemon.TraceAttrs(ev.Trace)...)...)
 		case tm.EventDestAlive:
-			log.Printf("destination %s:%d (PoP %d) alive, rtt %v",
-				ev.Dest.Addr, ev.Dest.Port, ev.Dest.PoP, ev.RTT.Truncate(time.Microsecond))
+			logger.Info("destination alive",
+				slog.String("dest", fmt.Sprintf("%s:%d", ev.Dest.Addr, ev.Dest.Port)),
+				slog.Uint64("pop", uint64(ev.Dest.PoP)),
+				slog.Duration("rtt", ev.RTT.Truncate(time.Microsecond)))
 		}
 	}
 	if *demo {
 		cfg.OnReturn = func(flow tmproto.FlowKey, payload []byte) {
-			log.Printf("return traffic for %v: %d bytes", flow, len(payload))
+			logger.Info("return traffic", "flow", flow.String(), "bytes", len(payload))
 		}
 	}
 
 	edge, err := tm.NewEdge(cfg)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("start failed", "err", err)
+		os.Exit(1)
 	}
 	defer edge.Close()
 	if *resolve != "" {
 		if err := edge.ResolveFrom(*resolve, *service, 3*time.Second); err != nil {
-			log.Fatalf("resolve: %v", err)
+			logger.Error("resolve failed", "from", *resolve, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("resolved %d destinations for service %q from %s",
-			len(edge.Status()), *service, *resolve)
+		logger.Info("resolved destinations",
+			"count", len(edge.Status()), "service", *service, "from", *resolve)
 	}
 	if len(edge.Status()) == 0 {
-		log.Fatal("no destinations: use -dest or -resolve")
+		logger.Error("no destinations: use -dest or -resolve")
+		os.Exit(1)
 	}
-	log.Printf("tm-edge up at %s with %d destinations", edge.Addr(), len(edge.Status()))
+	logger.Info("up", "addr", edge.Addr(), "destinations", len(edge.Status()),
+		"tracing", tracer != nil)
 
 	var ms *obs.MetricsServer
 	if *metrics != "" {
-		ms, err = obs.StartServer(*metrics, reg)
+		ms, err = obs.StartServerWith(*metrics, obs.MuxConfig{
+			Regs: []*obs.Registry{reg}, Trace: tracer, Pprof: of.Pprof,
+		})
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("metrics listen failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("tm-edge: metrics on http://%s/metrics", ms.Addr())
+		logger.Info("metrics up", "url", "http://"+ms.Addr()+"/metrics", "pprof", of.Pprof)
 	}
 
 	stop := make(chan struct{})
@@ -157,7 +186,7 @@ func main() {
 						}
 						fmt.Fprintf(&b, " %s[PoP%d %s]", sel, ds.Dest.PoP, state)
 					}
-					log.Printf("status:%s", b.String())
+					logger.Info("status", "dests", b.String())
 				}
 			}
 		}()
@@ -170,10 +199,13 @@ func main() {
 	case <-stop:
 	}
 	s := edge.Stats()
-	log.Printf("tm-edge: done — probes %d replies %d data %d/%d failovers %d repins %d",
-		s.ProbesSent, s.RepliesRcvd, s.DataSent, s.DataRcvd, s.Failovers, s.RepinnedFlows)
+	logger.Info("done",
+		"probes", s.ProbesSent, "replies", s.RepliesRcvd,
+		"data_sent", s.DataSent, "data_rcvd", s.DataRcvd,
+		"failovers", s.Failovers, "repins", s.RepinnedFlows)
 	_ = ms.Shutdown()
 	_ = edge.Close()
+	of.DumpTrace(tracer, logger)
 	// Final observability flush on stderr for log-harvesting supervisors.
 	_ = obs.DumpSnapshot(os.Stderr, reg)
 }

@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -22,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"painter/internal/daemon"
 	"painter/internal/obs"
 	"painter/internal/tm"
 	"painter/internal/tmproto"
@@ -59,10 +59,18 @@ func main() {
 		popID   = flag.Uint("pop-id", 1, "PoP identifier")
 		flowTTL = flag.Duration("flow-ttl", 5*time.Minute, "idle flow retention")
 		statsIv = flag.Duration("stats-interval", 10*time.Second, "stats logging interval (0 = off)")
-		metrics = flag.String("metrics-listen", "", "HTTP address for /metrics and /debug/obs (empty = off)")
+		metrics = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/trace (empty = off)")
 	)
 	flag.Var(&dests, "dest", "destination to advertise to edges (addr:port,popid[,anycast]); repeatable")
+	of := daemon.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := of.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tracer := of.Tracer("tm-pop")
 
 	reg := obs.NewRegistry()
 	pop, err := tm.NewPoP(tm.PoPConfig{
@@ -71,20 +79,26 @@ func main() {
 		Destinations: dests,
 		FlowTTL:      *flowTTL,
 		Obs:          reg,
+		Tracer:       tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("start failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("tm-pop %d listening on %s with %d advertised destinations", *popID, pop.Addr(), len(dests))
+	logger.Info("listening", "pop", *popID, "addr", pop.Addr(),
+		"destinations", len(dests), "tracing", tracer != nil)
 
 	var ms *obs.MetricsServer
 	if *metrics != "" {
-		ms, err = obs.StartServer(*metrics, reg)
+		ms, err = obs.StartServerWith(*metrics, obs.MuxConfig{
+			Regs: []*obs.Registry{reg}, Trace: tracer, Pprof: of.Pprof,
+		})
 		if err != nil {
 			_ = pop.Close()
-			log.Fatal(err)
+			logger.Error("metrics listen failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("tm-pop: metrics on http://%s/metrics", ms.Addr())
+		logger.Info("metrics up", "url", "http://"+ms.Addr()+"/metrics", "pprof", of.Pprof)
 	}
 
 	if *statsIv > 0 {
@@ -93,8 +107,10 @@ func main() {
 			defer t.Stop()
 			for range t.C {
 				s := pop.Stats()
-				log.Printf("stats: data in/out %d/%d probes %d resolves %d flows %d malformed %d",
-					s.DataIn, s.DataOut, s.Probes, s.Resolves, s.ActiveFlows, s.Malformed)
+				logger.Info("stats",
+					"data_in", s.DataIn, "data_out", s.DataOut,
+					"probes", s.Probes, "resolves", s.Resolves,
+					"flows", s.ActiveFlows, "malformed", s.Malformed)
 			}
 		}()
 	}
@@ -102,9 +118,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("tm-pop: shutting down")
+	logger.Info("shutting down")
 	_ = ms.Shutdown()
 	_ = pop.Close()
+	of.DumpTrace(tracer, logger)
 	// Final observability flush on stderr for log-harvesting supervisors.
 	_ = obs.DumpSnapshot(os.Stderr, reg)
 }

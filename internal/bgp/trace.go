@@ -1,0 +1,33 @@
+package bgp
+
+// Span-tracing entry point for the propagation engine. Unlike the
+// metric handles (package-level atomic, see obs.go), trace parentage
+// must flow through the call: a propagation is only meaningful as a
+// child of whichever resolve or solve step caused it. Callers without
+// a span pass nil and pay one branch.
+
+import (
+	"strconv"
+
+	"painter/internal/obs/span"
+	"painter/internal/topology"
+)
+
+// PropagateTraced is Propagate wrapped in a child span of parent
+// recording injection count, settled-AS count, and any error. A nil
+// parent (tracing off, or an unsampled trace) delegates directly.
+func PropagateTraced(g *topology.Graph, injections []Injection, tb TieBreaker, parent *span.Span) (map[topology.ASN]Route, error) {
+	if parent == nil {
+		return Propagate(g, injections, tb)
+	}
+	s := parent.StartChild("bgp.propagate",
+		span.A("injections", strconv.Itoa(len(injections))))
+	out, err := Propagate(g, injections, tb)
+	if err != nil {
+		s.SetAttr("error", err.Error())
+	} else {
+		s.SetAttr("settled", strconv.Itoa(len(out)))
+	}
+	s.Finish()
+	return out, err
+}

@@ -25,6 +25,7 @@ import (
 	"painter/internal/core"
 	"painter/internal/experiments"
 	"painter/internal/obs"
+	"painter/internal/obs/span"
 )
 
 // Server holds the orchestrator state behind the HTTP API.
@@ -35,6 +36,13 @@ type Server struct {
 	RouteServer string
 	// AnnounceTimeout bounds the BGP install.
 	AnnounceTimeout time.Duration
+	// Trace, when non-nil, traces each solve end to end (per-iteration,
+	// per-prefix placement, and netsim resolve spans) and backs GET
+	// /debug/trace with its flight recorder. Set before Handler().
+	Trace *span.Tracer
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler
+	// when true. Set before Handler().
+	Pprof bool
 	// obs is the server's metric registry: solve-loop and propagate
 	// metrics land here; /metrics also merges the world's registry.
 	obs *obs.Registry
@@ -77,6 +85,10 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.Handle("GET /metrics", obs.Handler(regs...))
 	mux.Handle("GET /debug/obs", obs.JSONHandler(regs...))
+	mux.Handle("GET /debug/trace", span.Handler(s.Trace))
+	if s.Pprof {
+		obs.MountPprof(mux)
+	}
 	return mux
 }
 
@@ -155,6 +167,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		params.MaxIterations = req.Iterations
 	}
 	params.Obs = s.obs
+	params.Trace = s.Trace
 	exec := core.NewWorldExecutor(s.Env.World, s.Env.UGs, 0.5, s.Env.Seed+123)
 	o, err := core.New(s.Env.Inputs, exec, params)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"painter/internal/bgp"
 	"painter/internal/cloud"
 	"painter/internal/geo"
+	"painter/internal/obs/span"
 	"painter/internal/usergroup"
 )
 
@@ -50,6 +51,15 @@ type Observation struct {
 // the simulation) and reports per-UG observations.
 type Executor interface {
 	Execute(cfg Config) ([]Observation, error)
+}
+
+// TracedExecutor is optionally implemented by executors that can record
+// their work as children of the solve loop's span (per-prefix resolve
+// and cache decisions). Solve type-asserts for it, so plain Executors
+// keep working untraced.
+type TracedExecutor interface {
+	Executor
+	ExecuteTraced(cfg Config, parent *span.Span) ([]Observation, error)
 }
 
 // Config is the advertisement configuration type shared with the

@@ -4,10 +4,12 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"painter/internal/bgp"
 	"painter/internal/obs"
+	"painter/internal/obs/span"
 	"painter/internal/usergroup"
 )
 
@@ -35,6 +37,11 @@ type Params struct {
 	// prefixes placed, accepted marginal benefit, facts learned, wall
 	// times). Nil disables instrumentation at one-branch cost.
 	Obs *obs.Registry
+	// Trace, when non-nil, records the solve loop's causal structure —
+	// solve → iteration → prefix placement → propagate/resolve — into
+	// the tracer's flight recorder. Nil disables tracing at one-branch
+	// cost (the nil-safe no-op tracer).
+	Trace *span.Tracer
 }
 
 // DefaultParams mirrors the paper's defaults (D_reuse = 3,000 km).
@@ -118,11 +125,17 @@ func (o *Orchestrator) Solve() (Config, error) {
 		start := time.Now()
 		defer func() { o.m.solveSeconds.Observe(time.Since(start).Seconds()) }()
 	}
+	root := o.params.Trace.StartRoot("core.solve",
+		span.A("budget", strconv.Itoa(o.params.PrefixBudget)),
+		span.A("ugs", strconv.Itoa(len(o.states))))
+	defer root.Finish()
 	var best Config
 	bestBenefit := math.Inf(-1)
 	prevBenefit := math.Inf(-1)
 	for iter := 0; iter < o.params.MaxIterations; iter++ {
-		cfg := o.ComputeConfig()
+		iterSpan := root.StartChild("core.iteration",
+			span.A("iteration", strconv.Itoa(iter+1)))
+		cfg := o.computeConfig(iterSpan)
 		rep := IterationReport{
 			Iteration:          iter + 1,
 			Config:             cfg.Clone(),
@@ -134,14 +147,25 @@ func (o *Orchestrator) Solve() (Config, error) {
 		if o.exec == nil {
 			// Offline mode: no executor, single computation.
 			o.reports = append(o.reports, rep)
+			iterSpan.Finish()
 			return cfg, nil
 		}
 		var execStart time.Time
 		if o.m.on() {
 			execStart = time.Now()
 		}
-		obs, err := o.exec.Execute(cfg)
+		execSpan := iterSpan.StartChild("core.execute",
+			span.A("prefixes", strconv.Itoa(cfg.NumPrefixes())))
+		var obs []Observation
+		var err error
+		if te, ok := o.exec.(TracedExecutor); ok {
+			obs, err = te.ExecuteTraced(cfg, execSpan)
+		} else {
+			obs, err = o.exec.Execute(cfg)
+		}
+		execSpan.Finish()
 		if err != nil {
+			iterSpan.Finish()
 			return Config{}, fmt.Errorf("core: execute iteration %d: %w", iter+1, err)
 		}
 		if o.m.on() {
@@ -153,6 +177,8 @@ func (o *Orchestrator) Solve() (Config, error) {
 		o.m.factsLearned.Add(uint64(rep.FactsLearned))
 		o.m.realizedBenefit.Set(rep.RealizedBenefit)
 		o.reports = append(o.reports, rep)
+		iterSpan.SetAttr("facts_learned", strconv.Itoa(rep.FactsLearned))
+		iterSpan.Finish()
 		if rep.RealizedBenefit > bestBenefit {
 			bestBenefit = rep.RealizedBenefit
 			best = cfg
@@ -189,7 +215,11 @@ func (h *candHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]
 
 // ComputeConfig runs one full pass of Algorithm 1's two inner loops with
 // the current routing model, returning the chosen configuration.
-func (o *Orchestrator) ComputeConfig() Config {
+func (o *Orchestrator) ComputeConfig() Config { return o.computeConfig(nil) }
+
+// computeConfig is ComputeConfig with one span per prefix placement
+// hung off parent (nil parent: no tracing, one branch per prefix).
+func (o *Orchestrator) computeConfig(parent *span.Span) Config {
 	// Per-UG frozen best across anycast + completed prefixes.
 	bestFrozen := make([]float64, len(o.states))
 	for i, st := range o.states {
@@ -204,7 +234,16 @@ func (o *Orchestrator) ComputeConfig() Config {
 		if o.m.on() {
 			growStart = time.Now()
 		}
+		var placeSpan *span.Span
+		if parent != nil {
+			placeSpan = parent.StartChild("core.place_prefix",
+				span.A("prefix", strconv.Itoa(p)))
+		}
 		S := o.growPrefix(allPeerings, bestFrozen)
+		if placeSpan != nil {
+			placeSpan.SetAttr("peerings", strconv.Itoa(len(S)))
+			placeSpan.Finish()
+		}
 		if o.m.on() {
 			o.m.prefixGrowSeconds.Observe(time.Since(growStart).Seconds())
 		}

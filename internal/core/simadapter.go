@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"painter/internal/advertise"
 	"painter/internal/bgp"
 	"painter/internal/netsim"
+	"painter/internal/obs/span"
 	"painter/internal/stats"
 	"painter/internal/topology"
 	"painter/internal/usergroup"
@@ -36,10 +38,25 @@ func NewWorldExecutor(w *netsim.World, ugs *usergroup.Set, noiseMs float64, seed
 // order), and measurement noise is drawn from a per-prefix RNG seeded by
 // (executor seed, prefix index) so results do not depend on scheduling.
 func (e *WorldExecutor) Execute(cfg Config) ([]Observation, error) {
+	return e.ExecuteTraced(cfg, nil)
+}
+
+// ExecuteTraced implements TracedExecutor: each prefix resolution runs
+// under its own child span of parent, which the world extends with the
+// resolve-cache decision and any bgp.Propagate run. Span creation is
+// goroutine-safe, so tracing composes with the parallel worker pool.
+func (e *WorldExecutor) ExecuteTraced(cfg Config, parent *span.Span) ([]Observation, error) {
 	perPrefix := make([][]Observation, len(cfg.Prefixes))
 	err := parallelFor(len(cfg.Prefixes), func(pi int) error {
 		peerings := cfg.Prefixes[pi]
-		sel, err := e.World.ResolveIngress(peerings)
+		var ps *span.Span
+		if parent != nil {
+			ps = parent.StartChild("core.resolve_prefix",
+				span.A("prefix", strconv.Itoa(pi)),
+				span.A("peerings", strconv.Itoa(len(peerings))))
+			defer ps.Finish()
+		}
+		sel, err := e.World.ResolveIngressTraced(peerings, ps)
 		if err != nil {
 			return fmt.Errorf("core: resolve prefix %d: %w", pi, err)
 		}

@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"math"
@@ -30,6 +31,7 @@ import (
 	"painter/internal/bgp"
 	"painter/internal/cloud"
 	"painter/internal/geo"
+	"painter/internal/obs/span"
 	"painter/internal/topology"
 )
 
@@ -517,11 +519,32 @@ func (w *World) prefScoreUncached(as topology.ASN, ing bgp.IngressID) float64 {
 // unreachable while it is down and valid again on recovery; preference
 // flips drop the entries they can affect (see events.go).
 func (w *World) ResolveIngress(peerings []bgp.IngressID) (map[topology.ASN]bgp.Route, error) {
+	return w.resolveIngress(peerings, nil)
+}
+
+// ResolveIngressTraced is ResolveIngress under a child span of parent
+// recording the cache decision (hit or miss) and, on a miss, the
+// bgp.Propagate run as a grandchild. A nil parent delegates with zero
+// tracing cost.
+func (w *World) ResolveIngressTraced(peerings []bgp.IngressID, parent *span.Span) (map[topology.ASN]bgp.Route, error) {
+	return w.resolveIngress(peerings, parent)
+}
+
+func (w *World) resolveIngress(peerings []bgp.IngressID, parent *span.Span) (map[topology.ASN]bgp.Route, error) {
 	sorted := make([]bgp.IngressID, len(peerings))
 	copy(sorted, peerings)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	sorted = w.filterLive(sorted)
 	key := resolveKey(w.day, sorted)
+
+	// Span construction (attr formatting included) is guarded so the
+	// untraced hot path pays exactly one nil check.
+	var s *span.Span
+	if parent != nil {
+		s = parent.StartChild("netsim.resolve",
+			span.A("peerings", strconv.Itoa(len(sorted))),
+			span.A("day", strconv.Itoa(w.day)))
+	}
 
 	w.resolveMu.Lock()
 	if w.resolveCache == nil {
@@ -536,6 +559,11 @@ func (w *World) ResolveIngress(peerings []bgp.IngressID) (map[topology.ASN]bgp.R
 		w.resolveCache[key] = e
 	}
 	w.resolveMu.Unlock()
+	if ok {
+		s.SetAttr("cache", "hit")
+	} else {
+		s.SetAttr("cache", "miss")
+	}
 
 	// Propagation order is immaterial to the result (candidates are
 	// sorted before tie-breaking), so resolving from the canonical slice
@@ -546,8 +574,14 @@ func (w *World) ResolveIngress(peerings []bgp.IngressID) (map[topology.ASN]bgp.R
 			e.err = err
 			return
 		}
-		e.sel, e.err = bgp.Propagate(w.Graph, inj, w.TieBreaker())
+		e.sel, e.err = bgp.PropagateTraced(w.Graph, inj, w.TieBreaker(), s)
 	})
+	if s != nil {
+		if e.err != nil {
+			s.SetAttr("error", e.err.Error())
+		}
+		s.Finish()
+	}
 	return e.sel, e.err
 }
 

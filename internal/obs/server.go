@@ -25,11 +25,15 @@ type MetricsServer struct {
 // and /debug/obs (JSON snapshot) for the given registries. Pass
 // "host:0" to bind an ephemeral port; Addr reports the bound address.
 func StartServer(addr string, regs ...*Registry) (*MetricsServer, error) {
+	return startServer(addr, NewMux(regs...))
+}
+
+func startServer(addr string, mux *http.ServeMux) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listen %q: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(regs...), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &MetricsServer{srv: srv, addr: ln.Addr().String()}, nil
 }

@@ -1,0 +1,7 @@
+//go:build !obsstrip
+
+package span
+
+// spanEnabled gates span creation at compile time. In the default
+// build New returns a live tracer; see strip_stripped.go.
+const spanEnabled = true

@@ -18,6 +18,7 @@ import (
 
 	"painter/internal/bgp"
 	"painter/internal/obs"
+	"painter/internal/obs/span"
 )
 
 // Config configures a route server.
@@ -36,6 +37,10 @@ type Config struct {
 	// Obs, when non-nil, receives route-server metrics (update/withdraw
 	// counters, session and flap-damping gauges).
 	Obs *obs.Registry
+	// Tracer, when non-nil, records one span per update message with
+	// child spans for each announce/withdraw decision, including whether
+	// flap damping suppressed the announcement. Nil disables tracing.
+	Tracer *span.Tracer
 }
 
 // Server is a running route server.
@@ -220,6 +225,15 @@ func (s *Server) serve(conn net.Conn) {
 }
 
 func (s *Server) handleUpdate(peer bgp.PeerID, peerAS uint16, u bgp.Update) {
+	var us *span.Span
+	if s.cfg.Tracer != nil {
+		us = s.cfg.Tracer.StartRoot("routeserver.update",
+			span.A("peer", fmt.Sprintf("%d", peer)),
+			span.A("peer_as", fmt.Sprintf("%d", peerAS)),
+			span.A("nlri", fmt.Sprintf("%d", len(u.NLRI))),
+			span.A("withdrawn", fmt.Sprintf("%d", len(u.Withdrawn))))
+		defer us.Finish()
+	}
 	for _, p := range u.Withdrawn {
 		s.withdraws.Add(1)
 		s.m.withdraws.Inc()
@@ -227,17 +241,33 @@ func (s *Server) handleUpdate(peer bgp.PeerID, peerAS uint16, u bgp.Update) {
 			s.dmp.OnWithdraw(p)
 		}
 		s.rib.Withdraw(peer, p)
+		if us != nil {
+			ws := us.StartChild("routeserver.withdraw", span.A("prefix", p.String()))
+			ws.Finish()
+		}
 	}
 	for _, p := range u.NLRI {
 		s.updates.Add(1)
 		s.m.updates.Inc()
+		var as *span.Span
+		if us != nil {
+			as = us.StartChild("routeserver.announce", span.A("prefix", p.String()))
+		}
 		if s.dmp != nil {
 			s.dmp.OnAttrChange(p)
 			if s.dmp.Suppressed(p) {
 				s.suppressed.Add(1)
 				s.m.suppressed.Inc()
+				if as != nil {
+					as.SetAttr("damped", "true")
+					as.Finish()
+				}
 				continue
 			}
+		}
+		if as != nil {
+			as.SetAttr("damped", "false")
+			as.Finish()
 		}
 		s.rib.Learn(bgp.RIBEntry{
 			Peer:      peer,

@@ -1,0 +1,186 @@
+package smoke
+
+// Daemon-level tracing smoke: every daemon started with -trace-sample
+// serves /debug/trace as valid Chrome trace-event JSON, honors
+// -log-format=json, exposes pprof behind -pprof, and dumps its flight
+// recorder to -trace-dump on SIGTERM.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"painter/internal/obs/span"
+)
+
+// scrapeTrace polls url until it answers 200, then parses the body as a
+// Chrome trace.
+func scrapeTrace(t *testing.T, d *daemon, url string) span.ChromeTrace {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		select {
+		case <-d.done:
+			t.Fatalf("%s exited early: %v\n%s", d.name, d.err, d.out.String())
+		default:
+		}
+		resp, err := http.Get(url)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: GET %s = %s", d.name, url, resp.Status)
+			}
+			ct, err := span.ParseChrome(resp.Body)
+			if err != nil {
+				t.Fatalf("%s: %s is not valid Chrome trace JSON: %v", d.name, url, err)
+			}
+			return ct
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never served %s: %v\n%s", d.name, url, lastErr, d.out.String())
+	return span.ChromeTrace{}
+}
+
+// waitTraceEvents re-scrapes until the trace has at least n non-metadata
+// events.
+func waitTraceEvents(t *testing.T, d *daemon, url string, n int) span.ChromeTrace {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ct := scrapeTrace(t, d, url)
+		spans := 0
+		for _, ev := range ct.TraceEvents {
+			if ev.Ph == "X" {
+				spans++
+			}
+		}
+		if spans >= n {
+			return ct
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %s never accumulated %d spans (have %d)", d.name, url, n, spans)
+			return ct
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestDaemonTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test")
+	}
+	root := repoRoot(t)
+	dir := t.TempDir()
+	popBin := buildBinary(t, root, dir, "cmd/tm-pop")
+	edgeBin := buildBinary(t, root, dir, "cmd/tm-edge")
+	rsBin := buildBinary(t, root, dir, "cmd/route-server")
+	pdBin := buildBinary(t, root, dir, "cmd/painterd")
+
+	// TM pair with tracing on: the edge's traced probes carry context to
+	// the PoP, so BOTH flight recorders fill up.
+	popAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	popMetrics := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	popDump := filepath.Join(dir, "pop-trace.json")
+	pop := startDaemon(t, "tm-pop", popBin,
+		"-listen", popAddr, "-pop-id", "1", "-dest", popAddr+",1",
+		"-stats-interval", "0", "-metrics-listen", popMetrics,
+		"-trace-sample", "1", "-trace-dump", popDump, "-log-format", "json")
+
+	edgeMetrics := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	edge := startDaemon(t, "tm-edge", edgeBin,
+		"-resolve", popAddr, "-service", "default",
+		"-probe-interval", "20ms", "-metrics-listen", edgeMetrics,
+		"-trace-sample", "1", "-log-format", "json")
+
+	edgeTrace := waitTraceEvents(t, edge, "http://"+edgeMetrics+"/debug/trace", 3)
+	for _, ev := range edgeTrace.TraceEvents {
+		if ev.Ph == "X" && !strings.HasPrefix(ev.Name, "tm.edge.") {
+			t.Errorf("unexpected edge span %q", ev.Name)
+		}
+	}
+	popTrace := waitTraceEvents(t, pop, "http://"+popMetrics+"/debug/trace", 1)
+	stitched := false
+	for _, ev := range popTrace.TraceEvents {
+		if ev.Name == "tm.pop.probe" {
+			stitched = true
+		}
+	}
+	if !stitched {
+		t.Error("tm-pop recorded no stitched probe spans from the edge's wire context")
+	}
+
+	// Route server: tracing plus pprof behind the flag.
+	rsAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	rsMetrics := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	rs := startDaemon(t, "route-server", rsBin,
+		"-listen", rsAddr, "-log-interval", "0", "-metrics-listen", rsMetrics,
+		"-trace-sample", "1", "-pprof")
+	scrapeTrace(t, rs, "http://"+rsMetrics+"/debug/trace")
+	resp, err := http.Get("http://" + rsMetrics + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("route-server GET /debug/pprof/cmdline = %s", resp.Status)
+	}
+
+	// painterd: /debug/trace on the control listener (valid even before
+	// any solve fills the recorder), pprof mounted with -pprof.
+	pdAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	pd := startDaemon(t, "painterd", pdBin,
+		"-listen", pdAddr, "-scale", "small", "-seed", "3",
+		"-trace-sample", "1", "-pprof", "-log-format", "json")
+	scrapeTrace(t, pd, "http://"+pdAddr+"/debug/trace")
+	resp, err = http.Get("http://" + pdAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("painterd GET /debug/pprof/cmdline = %s", resp.Status)
+	}
+
+	// JSON log lines actually parse as JSON.
+	edge.stopGracefully(t)
+	jsonLines := 0
+	for _, line := range strings.Split(edge.out.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var m map[string]any
+		if json.Unmarshal([]byte(line), &m) == nil && m["msg"] != nil {
+			jsonLines++
+		}
+	}
+	if jsonLines == 0 {
+		t.Errorf("tm-edge -log-format=json produced no parseable JSON log lines:\n%s", edge.out.String())
+	}
+
+	// SIGTERM writes the -trace-dump file as valid Chrome JSON.
+	pop.stopGracefully(t)
+	f, err := os.Open(popDump)
+	if err != nil {
+		t.Fatalf("tm-pop wrote no trace dump: %v", err)
+	}
+	defer f.Close()
+	dumped, err := span.ParseChrome(f)
+	if err != nil {
+		t.Fatalf("tm-pop trace dump invalid: %v", err)
+	}
+	if len(dumped.TraceEvents) == 0 {
+		t.Error("tm-pop trace dump is empty")
+	}
+
+	rs.stopGracefully(t)
+	pd.stopGracefully(t)
+}

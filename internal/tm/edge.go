@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"painter/internal/obs"
+	"painter/internal/obs/span"
 	"painter/internal/tmproto"
 )
 
@@ -60,6 +61,13 @@ type EdgeConfig struct {
 	// Obs, when non-nil, receives edge metrics (probe RTT, failover
 	// detection and backoff histograms, activity counters).
 	Obs *obs.Registry
+	// Tracer, when non-nil, records causal spans: per-probe round trips
+	// (with trace context carried on the wire so the PoP's reply side
+	// stitches in) and failover chains — silent probe → dead detection
+	// → re-selection → flow re-pin, with the re-pinned data packet
+	// carrying the trace so the PoP's flow re-home joins the same
+	// trace. Nil disables tracing at one-branch cost.
+	Tracer *span.Tracer
 }
 
 // DefaultEdgeConfig returns production-shaped defaults (timers scaled
@@ -118,6 +126,10 @@ type Event struct {
 	// Backoff, for EventDestQuarantined, is the recovery-probe interval
 	// in force when quarantine began.
 	Backoff time.Duration
+	// Trace is the failover trace context in scope when the event was
+	// emitted (zero when untraced), letting log lines carry trace IDs
+	// that join the flight-recorder export.
+	Trace span.Context
 }
 
 // destState is the edge's view of one tunnel destination.
@@ -153,6 +165,13 @@ type Edge struct {
 	flows        map[tmproto.FlowKey]string
 	seq          uint32
 	seqOwner     map[uint32]string
+
+	// probeSpans holds the open span of each outstanding traced probe,
+	// keyed by sequence number and bounded by the same GC as seqOwner.
+	probeSpans map[uint32]*span.Span
+	// failover is the open root span of the failover in progress (dead
+	// detection through flow re-pin); nil when none. Guarded by mu.
+	failover *span.Span
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -199,12 +218,13 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	_ = conn.SetReadBuffer(1 << 20)
 	_ = conn.SetWriteBuffer(1 << 20)
 	e := &Edge{
-		cfg:      cfg,
-		conn:     conn,
-		dests:    make(map[string]*destState),
-		flows:    make(map[tmproto.FlowKey]string),
-		seqOwner: make(map[uint32]string),
-		closed:   make(chan struct{}),
+		cfg:        cfg,
+		conn:       conn,
+		dests:      make(map[string]*destState),
+		flows:      make(map[tmproto.FlowKey]string),
+		seqOwner:   make(map[uint32]string),
+		probeSpans: make(map[uint32]*span.Span),
+		closed:     make(chan struct{}),
 	}
 	if err := e.SetDestinations(cfg.Destinations); err != nil {
 		_ = conn.Close()
@@ -307,6 +327,14 @@ func (e *Edge) Close() error {
 	close(e.closed)
 	err := e.conn.Close()
 	e.wg.Wait()
+	e.mu.Lock()
+	e.failover.Finish()
+	e.failover = nil
+	for s, ps := range e.probeSpans {
+		delete(e.probeSpans, s)
+		ps.Finish()
+	}
+	e.mu.Unlock()
 	return err
 }
 
@@ -357,6 +385,7 @@ func (e *Edge) Selected() (tmproto.Destination, bool) {
 // flow re-pins (connection state is lost, which the paper accepts in
 // exchange for not building a handover system).
 func (e *Edge) Send(flow tmproto.FlowKey, payload []byte) error {
+	var trace tmproto.TraceContext
 	e.mu.Lock()
 	key, pinned := e.flows[flow]
 	ds := e.dests[key]
@@ -381,6 +410,18 @@ func (e *Edge) Send(flow tmproto.FlowKey, payload []byte) error {
 			e.stats.RepinnedFlows++
 			e.statsMu.Unlock()
 			e.m.repins.Inc()
+			// The re-pin concludes the open failover chain. The data
+			// packet carries the re-pin span's context so the PoP's
+			// Known Flows re-home records into the same trace.
+			if e.failover != nil {
+				rp := e.failover.StartChild("tm.edge.repin",
+					span.A("flow", flow.String()),
+					span.A("dest", destKey(sel.dest)))
+				trace = tmproto.TraceContext(rp.Context())
+				rp.Finish()
+				e.failover.Finish()
+				e.failover = nil
+			}
 		}
 		e.flows[flow] = destKey(sel.dest)
 		ds = sel
@@ -388,7 +429,7 @@ func (e *Edge) Send(flow tmproto.FlowKey, payload []byte) error {
 	addr := ds.addr
 	e.mu.Unlock()
 
-	out, err := tmproto.AppendData(nil, tmproto.Data{Flow: flow, Payload: payload})
+	out, err := tmproto.AppendData(nil, tmproto.Data{Flow: flow, Payload: payload, Trace: trace})
 	if err != nil {
 		return err
 	}
@@ -471,10 +512,32 @@ func (e *Edge) probeRound(now time.Time) {
 			ds.quarantined = false
 			ds.nextRecovery = now // first recovery probe goes out at once
 			e.m.failoverDetectionMs.Observe(float64(now.Sub(ds.lastReply)) / float64(time.Millisecond))
+			// The unanswered probe's own span (a separate trace) ends
+			// here, marked timed out.
+			if ps := e.probeSpans[ds.awaitingSeq]; ps != nil {
+				delete(e.probeSpans, ds.awaitingSeq)
+				ps.SetAttr("timeout", "true")
+				ps.Finish()
+			}
+			// Open the failover trace: one root spanning dead detection
+			// through re-selection and (if a pinned flow existed) the
+			// re-pin whose data packet stitches the PoP's re-home in.
+			e.failover.Finish() // a still-open previous chain ends now
+			e.failover = e.cfg.Tracer.StartRoot("tm.edge.failover",
+				span.A("dest", destKey(ds.dest)))
+			probeSpan := e.failover.StartChild("tm.edge.probe",
+				span.A("seq", fmt.Sprint(ds.awaitingSeq)),
+				span.A("silent_ms", fmt.Sprintf("%.1f", float64(now.Sub(ds.lastReply))/float64(time.Millisecond))))
+			probeSpan.Finish()
+			dead := e.failover.StartChild("tm.edge.dead",
+				span.A("dest", destKey(ds.dest)),
+				span.A("silent_ms", fmt.Sprintf("%.1f", float64(now.Sub(ds.lastReply))/float64(time.Millisecond))))
+			dead.Finish()
 			events = append(events, Event{
 				Kind: EventDestDead, Dest: ds.dest, At: now,
 				SinceLastReply: now.Sub(ds.lastReply),
 				RTT:            time.Duration(ds.rttEWMA * float64(time.Millisecond)),
+				Trace:          e.failover.Context(),
 			})
 			if e.selected == key {
 				e.selected = ""
@@ -520,9 +583,19 @@ func (e *Edge) probeRound(now time.Time) {
 					})
 				}
 			}
-			pkt := tmproto.AppendProbe(nil, tmproto.Probe{
-				Seq: seq, SentUnixNano: now.UnixNano(),
-			}, false)
+			wp := tmproto.Probe{Seq: seq, SentUnixNano: now.UnixNano()}
+			if e.cfg.Tracer != nil {
+				// One (head-sampled) trace per probe round trip; the
+				// context travels on the wire and comes back in the
+				// echoed reply, so the PoP's handling stitches in.
+				if ps := e.cfg.Tracer.StartRoot("tm.edge.probe",
+					span.A("dest", key),
+					span.A("seq", fmt.Sprint(seq))); ps != nil {
+					e.probeSpans[seq] = ps
+					wp.Trace = tmproto.TraceContext(ps.Context())
+				}
+			}
+			pkt := tmproto.AppendProbe(nil, wp, false)
 			sends = append(sends, sendReq{addr: ds.addr, pkt: pkt})
 		}
 	}
@@ -582,6 +655,12 @@ func (e *Edge) reselectLocked(now time.Time) []Event {
 	e.selected = destKey(best.dest)
 	d := best.dest
 	e.lastSelected = &d
+	if e.failover != nil {
+		rs := e.failover.StartChild("tm.edge.reselect",
+			span.A("dest", e.selected),
+			span.A("rtt_ms", fmt.Sprintf("%.2f", best.rttEWMA)))
+		rs.Finish()
+	}
 	if prev != nil {
 		e.statsMu.Lock()
 		e.stats.Failovers++
@@ -590,7 +669,8 @@ func (e *Edge) reselectLocked(now time.Time) []Event {
 	}
 	return []Event{{
 		Kind: EventSelected, Dest: best.dest, Prev: prev, At: now,
-		RTT: time.Duration(best.rttEWMA * float64(time.Millisecond)),
+		RTT:   time.Duration(best.rttEWMA * float64(time.Millisecond)),
+		Trace: e.failover.Context(),
 	}}
 }
 
@@ -628,6 +708,15 @@ func (e *Edge) gcSeqOwnerLocked() {
 	for s := range e.seqOwner {
 		if s < cut {
 			delete(e.seqOwner, s)
+		}
+	}
+	// probeSpans is bounded by the same cut, so an unanswered traced
+	// probe cannot leak its span forever.
+	for s, ps := range e.probeSpans {
+		if s < cut {
+			delete(e.probeSpans, s)
+			ps.SetAttr("lost", "true")
+			ps.Finish()
 		}
 	}
 }
@@ -686,6 +775,11 @@ func (e *Edge) handleProbeReply(p tmproto.Probe) {
 	}
 	var events []Event
 	e.mu.Lock()
+	if ps := e.probeSpans[p.Seq]; ps != nil {
+		delete(e.probeSpans, p.Seq)
+		ps.SetAttr("rtt_ms", fmt.Sprintf("%.2f", rttMs))
+		ps.Finish()
+	}
 	key, ok := e.seqOwner[p.Seq]
 	if ok {
 		delete(e.seqOwner, p.Seq)

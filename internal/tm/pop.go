@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"painter/internal/obs"
+	"painter/internal/obs/span"
 	"painter/internal/tmproto"
 )
 
@@ -54,6 +55,11 @@ type PoPConfig struct {
 	// Obs, when non-nil, receives PoP metrics (datagram counters and the
 	// active-flows gauge).
 	Obs *obs.Registry
+	// Tracer, when non-nil, records PoP-side spans stitched into the
+	// edge's traces via the wire trace context: probe handling joins
+	// the probe's trace, and Known Flows re-homes join the failover
+	// trace of the edge that re-pinned the flow.
+	Tracer *span.Tracer
 }
 
 // PoPEventKind discriminates PoP events.
@@ -233,6 +239,18 @@ func (p *PoP) readLoop() {
 		case tmproto.TypeProbe:
 			p.bump(func(s *PoPStats) { s.Probes++ })
 			p.m.probes.Inc()
+			if p.cfg.Tracer != nil {
+				// A traced probe carries its span context; record this
+				// hop as a remote child so the edge's probe trace shows
+				// the PoP touch. The reply (an in-place type flip)
+				// echoes the context back untouched.
+				if pr, _, err := tmproto.ParseProbe(buf[:n]); err == nil && pr.Trace.Valid() {
+					s := p.cfg.Tracer.FromRemote(span.Context(pr.Trace), "tm.pop.probe",
+						span.A("seq", fmt.Sprint(pr.Seq)),
+						span.A("edge", from.String()))
+					s.Finish()
+				}
+			}
 			if reply, err := tmproto.MakeReply(buf[:n]); err == nil {
 				_, _ = p.conn.WriteToUDP(reply, from)
 			}
@@ -300,6 +318,15 @@ func (p *PoP) handleData(d tmproto.Data, from *net.UDPAddr) {
 	if moved != nil {
 		p.bump(func(s *PoPStats) { s.FlowMoves++ })
 		p.m.flowMoves.Inc()
+		// A re-pinned data packet carries the edge failover trace; the
+		// re-home is the PoP-side tail of that chain.
+		if p.cfg.Tracer != nil && d.Trace.Valid() {
+			s := p.cfg.Tracer.FromRemote(span.Context(d.Trace), "tm.pop.rehome",
+				span.A("flow", d.Flow.String()),
+				span.A("prev_edge", moved.PrevEdge),
+				span.A("new_edge", moved.NewEdge))
+			s.Finish()
+		}
 		p.emit(*moved)
 	}
 

@@ -35,6 +35,15 @@ func fuzzSeedCorpus(f *testing.F) {
 	}); err == nil {
 		f.Add(rr)
 	}
+	// Trace-flagged variants: the optional 16-byte trace-context block.
+	tc := TraceContext{TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef}
+	if d, err := AppendData(nil, Data{Flow: fl, Payload: []byte("traced"), Trace: tc}); err == nil {
+		f.Add(d)
+	}
+	f.Add(AppendProbe(nil, Probe{Seq: 11, SentUnixNano: 99, Trace: tc}, false))
+	// Flag set but block truncated / half-zero.
+	f.Add([]byte{0x50, 0x41, 0x01, 0x02, 0x00, 0x00, 0x00, 0x01, 0x00})
+	f.Add(AppendProbe(nil, Probe{Seq: 12, Trace: TraceContext{TraceID: 5}}, false))
 	// Truncations and garbage.
 	f.Add([]byte{})
 	f.Add([]byte{0x50})

@@ -58,8 +58,34 @@ func (t MsgType) String() string {
 }
 
 // headerLen is the fixed header size: magic(2) version(1) type(1)
-// reserved(4).
+// flags(4). The flags word was reserved-zero through protocol
+// version 1 PR 3; bit 0 now marks an optional trace-context block.
 const headerLen = 8
+
+// flagTrace marks a 16-byte TraceContext block inserted directly after
+// the header, before the type-specific body. Decoders that predate the
+// flag reject flagged datagrams on length/shape grounds rather than
+// misreading them, and MakeReply (a type-byte flip) echoes the block
+// untouched — which is exactly how edge→pop→edge probe round trips
+// stitch into one trace with zero PoP-side work.
+const flagTrace uint32 = 1 << 0
+
+// traceLen is TraceID(8) + SpanID(8).
+const traceLen = 16
+
+// TraceContext carries span identity (see internal/obs/span) across
+// the tunnel so both tunnel ends record into one causal trace. The
+// zero value means "no trace" and costs nothing on the wire.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a span. The span ID stream
+// never emits zero, so a half-zero context is treated as absent (and
+// normalized to the zero value on parse, preserving the append/parse
+// round-trip property).
+func (c TraceContext) Valid() bool { return c.TraceID != 0 && c.SpanID != 0 }
 
 // Codec errors.
 var (
@@ -75,6 +101,44 @@ func putHeader(dst []byte, t MsgType) {
 	dst[2] = Version
 	dst[3] = uint8(t)
 	binary.BigEndian.PutUint32(dst[4:8], 0)
+}
+
+// appendHeader appends the header plus, when tc is valid, the flagged
+// trace block; it returns the updated slice.
+func appendHeader(dst []byte, t MsgType, tc TraceContext) []byte {
+	off := len(dst)
+	n := headerLen
+	if tc.Valid() {
+		n += traceLen
+	}
+	dst = append(dst, make([]byte, n)...)
+	putHeader(dst[off:], t)
+	if tc.Valid() {
+		binary.BigEndian.PutUint32(dst[off+4:off+8], flagTrace)
+		binary.BigEndian.PutUint64(dst[off+headerLen:], tc.TraceID)
+		binary.BigEndian.PutUint64(dst[off+headerLen+8:], tc.SpanID)
+	}
+	return dst
+}
+
+// parseTrace returns the trace context (zero when absent) and the
+// offset where the type-specific body begins. The caller must already
+// have validated the header via PeekType.
+func parseTrace(b []byte) (TraceContext, int, error) {
+	if binary.BigEndian.Uint32(b[4:8])&flagTrace == 0 {
+		return TraceContext{}, headerLen, nil
+	}
+	if len(b) < headerLen+traceLen {
+		return TraceContext{}, 0, ErrTooShort
+	}
+	tc := TraceContext{
+		TraceID: binary.BigEndian.Uint64(b[headerLen:]),
+		SpanID:  binary.BigEndian.Uint64(b[headerLen+8:]),
+	}
+	if !tc.Valid() {
+		tc = TraceContext{} // half-zero contexts normalize to absent
+	}
+	return tc, headerLen + traceLen, nil
 }
 
 // PeekType validates the header and returns the message type.
@@ -137,10 +201,14 @@ func parseFlowKey(b []byte) (FlowKey, error) {
 	}, nil
 }
 
-// Data is an encapsulated client packet.
+// Data is an encapsulated client packet. Trace, when valid, rides the
+// wire as the flagged trace block — the edge sets it on the first
+// packet after a re-pin so the PoP's flow re-home stitches into the
+// failover trace.
 type Data struct {
 	Flow    FlowKey
 	Payload []byte // zero-copy view on decode
+	Trace   TraceContext
 }
 
 // AppendData serializes a data message, appending to dst.
@@ -148,10 +216,9 @@ func AppendData(dst []byte, d Data) ([]byte, error) {
 	if !d.Flow.Valid() {
 		return nil, fmt.Errorf("tmproto: invalid flow key %v", d.Flow)
 	}
-	off := len(dst)
-	dst = append(dst, make([]byte, headerLen+flowKeyLen)...)
-	putHeader(dst[off:], TypeData)
-	d.Flow.marshal(dst[off+headerLen:])
+	dst = appendHeader(dst, TypeData, d.Trace)
+	dst = append(dst, make([]byte, flowKeyLen)...)
+	d.Flow.marshal(dst[len(dst)-flowKeyLen:])
 	return append(dst, d.Payload...), nil
 }
 
@@ -164,34 +231,41 @@ func ParseData(b []byte) (Data, error) {
 	if t != TypeData {
 		return Data{}, fmt.Errorf("tmproto: expected DATA, got %v", t)
 	}
-	fk, err := parseFlowKey(b[headerLen:])
+	tc, body, err := parseTrace(b)
 	if err != nil {
 		return Data{}, err
 	}
-	return Data{Flow: fk, Payload: b[headerLen+flowKeyLen:]}, nil
+	fk, err := parseFlowKey(b[body:])
+	if err != nil {
+		return Data{}, err
+	}
+	return Data{Flow: fk, Payload: b[body+flowKeyLen:], Trace: tc}, nil
 }
 
 // Probe is a keepalive/RTT probe. The edge stamps SentUnixNano; the PoP
 // echoes the message unchanged apart from flipping the type, so the
-// edge computes RTT on reply receipt without any clock agreement.
+// edge computes RTT on reply receipt without any clock agreement. A
+// valid Trace rides the flagged trace block and is echoed back with
+// the rest of the datagram, stitching the PoP into the probe's trace.
 type Probe struct {
 	Seq          uint32
 	SentUnixNano int64
+	Trace        TraceContext
 }
 
 const probeBodyLen = 12
 
 // AppendProbe serializes a probe (or probe reply when reply is true).
 func AppendProbe(dst []byte, p Probe, reply bool) []byte {
-	off := len(dst)
-	dst = append(dst, make([]byte, headerLen+probeBodyLen)...)
 	t := TypeProbe
 	if reply {
 		t = TypeProbeReply
 	}
-	putHeader(dst[off:], t)
-	binary.BigEndian.PutUint32(dst[off+headerLen:], p.Seq)
-	binary.BigEndian.PutUint64(dst[off+headerLen+4:], uint64(p.SentUnixNano))
+	dst = appendHeader(dst, t, p.Trace)
+	off := len(dst)
+	dst = append(dst, make([]byte, probeBodyLen)...)
+	binary.BigEndian.PutUint32(dst[off:], p.Seq)
+	binary.BigEndian.PutUint64(dst[off+4:], uint64(p.SentUnixNano))
 	return dst
 }
 
@@ -204,12 +278,17 @@ func ParseProbe(b []byte) (Probe, bool, error) {
 	if t != TypeProbe && t != TypeProbeReply {
 		return Probe{}, false, fmt.Errorf("tmproto: expected PROBE(-REPLY), got %v", t)
 	}
-	if len(b) < headerLen+probeBodyLen {
+	tc, body, err := parseTrace(b)
+	if err != nil {
+		return Probe{}, false, err
+	}
+	if len(b) < body+probeBodyLen {
 		return Probe{}, false, ErrTooShort
 	}
 	return Probe{
-		Seq:          binary.BigEndian.Uint32(b[headerLen:]),
-		SentUnixNano: int64(binary.BigEndian.Uint64(b[headerLen+4:])),
+		Seq:          binary.BigEndian.Uint32(b[body:]),
+		SentUnixNano: int64(binary.BigEndian.Uint64(b[body+4:])),
+		Trace:        tc,
 	}, t == TypeProbeReply, nil
 }
 
@@ -265,14 +344,20 @@ func ParseResolve(b []byte) (Resolve, error) {
 	if t != TypeResolve {
 		return Resolve{}, fmt.Errorf("tmproto: expected RESOLVE, got %v", t)
 	}
-	if len(b) < headerLen+1 {
+	// Control messages accept (and skip) the trace block so the flag is
+	// uniform across types, but never carry one themselves.
+	_, body, err := parseTrace(b)
+	if err != nil {
+		return Resolve{}, err
+	}
+	if len(b) < body+1 {
 		return Resolve{}, ErrTooShort
 	}
-	n := int(b[headerLen])
-	if len(b) < headerLen+1+n {
+	n := int(b[body])
+	if len(b) < body+1+n {
 		return Resolve{}, ErrTooShort
 	}
-	return Resolve{Service: string(b[headerLen+1 : headerLen+1+n])}, nil
+	return Resolve{Service: string(b[body+1 : body+1+n])}, nil
 }
 
 // ResolveReply lists destinations.
@@ -323,11 +408,15 @@ func ParseResolveReply(b []byte) (ResolveReply, error) {
 	if t != TypeResolveReply {
 		return ResolveReply{}, fmt.Errorf("tmproto: expected RESOLVE-REPLY, got %v", t)
 	}
-	if len(b) < headerLen+1 {
+	_, body, err := parseTrace(b)
+	if err != nil {
+		return ResolveReply{}, err
+	}
+	if len(b) < body+1 {
 		return ResolveReply{}, ErrTooShort
 	}
-	n := int(b[headerLen])
-	p := headerLen + 1
+	n := int(b[body])
+	p := body + 1
 	if len(b) < p+n+2 {
 		return ResolveReply{}, ErrTooShort
 	}
