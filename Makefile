@@ -66,9 +66,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Benchmark the dense propagation engine against the reference oracle at
-# ScaleSmall and record the numbers (ns/op, allocs/op, speedup).
+# ScaleSmall and record the numbers (ns/op, allocs/op, speedup), then the
+# continuous controller's repair-vs-full-solve speedup under churn.
 bench-json:
 	$(GO) run ./cmd/benchprop -out BENCH_PROPAGATE.json
+	$(GO) run ./cmd/painter-bench -exp resolve -scale small -resolve-out BENCH_RESOLVE.json
 
 # Measure observability overhead on the propagation hot path: live obs
 # vs the no-op default, plus the -tags obsstrip compile-time-stripped

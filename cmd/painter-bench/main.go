@@ -29,6 +29,9 @@ type runCtx struct {
 	env   *experiments.Env
 	seed  int64
 	iters int
+	// resolveOut, when set, makes the resolve experiment write its
+	// result as JSON (BENCH_RESOLVE.json).
+	resolveOut string
 	// fig6aRows is cached so fig14 (a re-projection of the same sweep)
 	// reuses fig6a's rows instead of re-solving.
 	fig6aRows []experiments.Fig6aResult
@@ -182,6 +185,20 @@ var experimentList = []experiment{
 		fmt.Println(res.Table())
 		return nil
 	}},
+	{"resolve", "incremental repair vs full re-solve under single-event churn", true, func(c *runCtx) error {
+		res, err := experiments.RunResolveBench(c.env, experiments.ResolveBenchConfig{Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		if c.resolveOut != "" {
+			if err := res.WriteJSON(c.resolveOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", c.resolveOut)
+		}
+		return nil
+	}},
 	{"validation", "policy-compliance validation of simulated routing", true, func(c *runCtx) error {
 		v, err := experiments.RunComplianceValidation(c.env)
 		if err != nil {
@@ -217,6 +234,7 @@ func main() {
 		iters   = flag.Int("iters", 2, "orchestrator learning iterations")
 		list    = flag.Bool("list", false, "print experiment ids with descriptions and exit")
 		dump    = flag.String("metrics-dump", "", `append one JSON obs snapshot per experiment to this file ("-" = stdout)`)
+		resOut  = flag.String("resolve-out", "", "write the resolve experiment's result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -272,7 +290,7 @@ func main() {
 		dumpFile = f
 	}
 
-	ctx := &runCtx{seed: *seed, iters: *iters}
+	ctx := &runCtx{seed: *seed, iters: *iters, resolveOut: *resOut}
 	needEnv := false
 	for _, e := range experimentList {
 		if e.needsEnv && want(e.id) {

@@ -1,0 +1,419 @@
+package core
+
+// Controller tests: the event→dirty-set mapping for all 7 netsim event
+// kinds, differential against a cold full solve on the post-event world.
+// Each scenario drives TWO same-seed rigs through the same events: a
+// repair controller (warm-start path under test) and a ForceFullSolve
+// twin whose config must match the cold solve byte-for-byte — proving
+// the controller's incrementally refreshed model (anycast baselines,
+// dark mask, live filter) is exactly the model a restarted batch
+// operator would build. The repair arm is held to a benefit tolerance
+// instead: mid-outage, frozen clean prefixes cost a few percent versus
+// a global re-solve (that is the price of incrementality; the
+// dirty-fraction threshold bounds it, and the chaos convergence test
+// asserts the 1% criterion once schedules recover).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"painter/internal/bgp"
+	"painter/internal/netsim"
+	"painter/internal/usergroup"
+)
+
+const ctrlBudget = 5
+
+// repairTolerance is the minimum fraction of the cold-solve benefit the
+// warm-start path must retain mid-outage.
+const repairTolerance = 0.90
+
+func newTestController(t *testing.T, b *testBench) *Controller {
+	t.Helper()
+	c, err := NewController(b.world, b.ugs, ControllerParams{Solver: DefaultParams(ctrlBudget)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// coldConfig computes a from-scratch config on the world's CURRENT
+// state: fresh inputs (current anycast baselines and coverage), live
+// peerings only — what a batch operator restarted after the events
+// would produce.
+func coldConfig(t *testing.T, b *testBench) Config {
+	t.Helper()
+	in, _, err := SimInputs(b.world, b.ugs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(in, nil, DefaultParams(ctrlBudget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o.ComputeConfigLive(func(id bgp.IngressID) bool { return !b.world.IngressDown(id) })
+}
+
+func benefitOf(t *testing.T, b *testBench, cfg Config) float64 {
+	t.Helper()
+	res, err := Evaluate(b.world, b.ugs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Benefit
+}
+
+// configBytes canonically serializes a config for byte-equality checks.
+func configBytes(cfg Config) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cfg.Prefixes)))
+	for _, S := range cfg.Prefixes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(S)))
+		for _, ing := range S {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(ing))
+		}
+	}
+	return buf
+}
+
+func prefixesContaining(cfg Config, ids ...bgp.IngressID) map[int]bool {
+	want := make(map[bgp.IngressID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	out := make(map[int]bool)
+	for pi, S := range cfg.Prefixes {
+		for _, ing := range S {
+			if want[ing] {
+				out[pi] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func assertDirtyContains(t *testing.T, rep SyncReport, want map[int]bool) {
+	t.Helper()
+	got := make(map[int]bool, len(rep.Dirty))
+	for _, pi := range rep.Dirty {
+		got[pi] = true
+	}
+	for pi := range want {
+		if !got[pi] {
+			t.Errorf("prefix %d should be dirty; dirty set = %v", pi, rep.Dirty)
+		}
+	}
+}
+
+func assertNoneContain(t *testing.T, cfg Config, ids ...bgp.IngressID) {
+	t.Helper()
+	bad := prefixesContaining(cfg, ids...)
+	if len(bad) != 0 {
+		t.Errorf("repaired config still advertises failed ingresses %v in prefixes %v", ids, bad)
+	}
+}
+
+// ctrlRig is a pair of same-seed worlds: one driven through the repair
+// controller under test, the twin through a ForceFullSolve controller.
+type ctrlRig struct {
+	t      *testing.T
+	b, b2  *testBench
+	c, c2  *Controller
+	lastRp SyncReport
+}
+
+func newCtrlRig(t *testing.T, seed int64) *ctrlRig {
+	t.Helper()
+	r := &ctrlRig{t: t, b: newBench(t, seed), b2: newBench(t, seed)}
+	r.c = newTestController(t, r.b)
+	c2, err := NewController(r.b2.world, r.b2.ugs, ControllerParams{
+		Solver: DefaultParams(ctrlBudget), ForceFullSolve: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Stop)
+	r.c2 = c2
+	return r
+}
+
+// apply mirrors one event into both worlds.
+func (r *ctrlRig) apply(ev netsim.Event) {
+	r.t.Helper()
+	if err := r.b.world.ApplyEvent(ev); err != nil {
+		r.t.Fatal(err)
+	}
+	if err := r.b2.world.ApplyEvent(ev); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// sync syncs both controllers and returns the repair arm's result.
+func (r *ctrlRig) sync() (Config, SyncReport) {
+	r.t.Helper()
+	if _, _, err := r.c2.Sync(); err != nil {
+		r.t.Fatal(err)
+	}
+	cfg, rep, err := r.c.Sync()
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.lastRp = rep
+	return cfg, rep
+}
+
+// TestControllerDirtySetPerKind drives each of the 7 event kinds through
+// a fresh rig and asserts (a) the per-kind dirty-set rules, (b) the
+// exact differential — the full-solve twin's config byte-identical to a
+// cold solve on the post-event world — and (c) the repair arm's benefit
+// within tolerance of cold.
+func TestControllerDirtySetPerKind(t *testing.T) {
+	type scenario struct {
+		name string
+		run  func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport)
+	}
+
+	// anycastUnselected returns an advertised ingress no UG's anycast
+	// route currently selects (zero when all are selected).
+	anycastUnselected := func(t *testing.T, b *testBench, before Config) bgp.IngressID {
+		t.Helper()
+		_, ing, err := AnycastLatencies(b.world, b.ugs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selected := make(map[bgp.IngressID]bool, len(ing))
+		for _, id := range ing {
+			selected[id] = true
+		}
+		for _, S := range before.Prefixes {
+			for _, id := range S {
+				if !selected[id] {
+					return id
+				}
+			}
+		}
+		return 0
+	}
+
+	scenarios := []scenario{
+		{"peering-down", func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport) {
+			x := before.Prefixes[0][0]
+			r.apply(netsim.Event{Kind: netsim.EventPeeringDown, Ingress: x})
+			after, rep := r.sync()
+			assertDirtyContains(t, rep, prefixesContaining(before, x))
+			assertNoneContain(t, after, x)
+			return after, rep
+		}},
+		{"peering-up", func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport) {
+			x := before.Prefixes[0][0]
+			r.apply(netsim.Event{Kind: netsim.EventPeeringDown, Ingress: x})
+			r.sync()
+			r.apply(netsim.Event{Kind: netsim.EventPeeringUp, Ingress: x})
+			after, rep := r.sync()
+			if rep.Events != 1 {
+				t.Errorf("recovery sync consumed %d events, want 1", rep.Events)
+			}
+			return after, rep
+		}},
+		{"pop-down", func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport) {
+			pop, err := r.b.world.Deploy.PoPOfPeering(before.Prefixes[0][0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			at := r.b.world.Deploy.PeeringsAt(pop.ID)
+			r.apply(netsim.Event{Kind: netsim.EventPoPDown, PoP: pop.ID})
+			after, rep := r.sync()
+			assertDirtyContains(t, rep, prefixesContaining(before, at...))
+			assertNoneContain(t, after, at...)
+			return after, rep
+		}},
+		{"pop-up", func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport) {
+			pop, err := r.b.world.Deploy.PoPOfPeering(before.Prefixes[0][0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.apply(netsim.Event{Kind: netsim.EventPoPDown, PoP: pop.ID})
+			r.sync()
+			r.apply(netsim.Event{Kind: netsim.EventPoPUp, PoP: pop.ID})
+			after, rep := r.sync()
+			return after, rep
+		}},
+		{"latency-spike-selected", func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport) {
+			// Spike an ingress some UG's anycast route traverses: those
+			// states' baselines move, dirtying every prefix they can use.
+			_, ing, err := AnycastLatencies(r.b.world, r.b.ugs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var x bgp.IngressID
+			var victim usergroup.ID
+			for id, sel := range ing {
+				if x == 0 || sel < x {
+					x, victim = sel, id
+				}
+			}
+			r.apply(netsim.Event{Kind: netsim.EventLatencySpike, Ingress: x, Ms: 80})
+			after, rep := r.sync()
+			if rep.AnycastChanged == 0 {
+				t.Errorf("spiking anycast-selected ingress %d changed no baselines", x)
+			}
+			// The victim's usable prefixes must all be dirty.
+			want := make(map[int]bool)
+			for _, st := range r.c.o.states {
+				if st.ug.ID != victim {
+					continue
+				}
+				for pi, S := range before.Prefixes {
+					if e := st.expect(S, r.c.o.params.ReuseKm); e.Usable() {
+						want[pi] = true
+					}
+				}
+			}
+			assertDirtyContains(t, rep, want)
+			return after, rep
+		}},
+		{"latency-spike-unselected", func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport) {
+			// A spike on an ingress nobody's anycast route uses moves no
+			// placement input: nothing dirty, config byte-identical.
+			x := anycastUnselected(t, r.b, before)
+			if x == 0 {
+				t.Skip("every advertised ingress is anycast-selected")
+			}
+			r.apply(netsim.Event{Kind: netsim.EventLatencySpike, Ingress: x, Ms: 80})
+			after, rep := r.sync()
+			if len(rep.Dirty) != 0 {
+				t.Errorf("unselected spike dirtied prefixes %v", rep.Dirty)
+			}
+			if !bytes.Equal(configBytes(after), configBytes(before)) {
+				t.Error("unselected spike changed the config")
+			}
+			return after, rep
+		}},
+		{"probe-loss", func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport) {
+			x := before.Prefixes[0][0]
+			r.apply(netsim.Event{Kind: netsim.EventProbeLoss, Ingress: x, Pct: 35})
+			after, rep := r.sync()
+			if len(rep.Dirty) != 0 || rep.Repaired || rep.FullSolve {
+				t.Errorf("probe loss must be a no-op, got report %+v", rep)
+			}
+			if !bytes.Equal(configBytes(after), configBytes(before)) {
+				t.Error("probe loss changed the config")
+			}
+			return after, rep
+		}},
+		{"pref-flip", func(t *testing.T, r *ctrlRig, before Config) (Config, SyncReport) {
+			x := before.Prefixes[0][0]
+			as := r.b.ugs.UGs[0].ASN
+			r.apply(netsim.Event{Kind: netsim.EventPrefFlip, AS: as, Ingress: x})
+			after, rep := r.sync()
+			assertDirtyContains(t, rep, prefixesContaining(before, x))
+			return after, rep
+		}},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			r := newCtrlRig(t, 61)
+			before := r.c.Config()
+			if before.NumPrefixes() == 0 {
+				t.Fatal("controller produced empty initial config")
+			}
+			if !bytes.Equal(configBytes(before), configBytes(r.c2.Config())) {
+				t.Fatal("same-seed rigs disagree on the initial config")
+			}
+			after, _ := sc.run(t, r, before)
+			if err := after.Validate(r.b.world.Deploy); err != nil {
+				t.Fatalf("synced config invalid: %v", err)
+			}
+			// Exact differential: the full-solve twin must land on the
+			// cold solve byte-for-byte (its refreshed model IS the cold
+			// model).
+			cold2 := coldConfig(t, r.b2)
+			if !bytes.Equal(configBytes(r.c2.Config()), configBytes(cold2)) {
+				t.Errorf("full-solve twin diverged from cold solve:\n twin %v\n cold %v",
+					r.c2.Config().Prefixes, cold2.Prefixes)
+			}
+			// Tolerance differential for the warm-start path.
+			cold := coldConfig(t, r.b)
+			got, want := benefitOf(t, r.b, after), benefitOf(t, r.b, cold)
+			if got < repairTolerance*want-1e-9 {
+				t.Errorf("synced benefit %.3f below %.0f%% of cold solve %.3f",
+					got, repairTolerance*100, want)
+			}
+		})
+	}
+}
+
+// TestControllerRepairRoundTrip: a down/up pair returns the world to its
+// initial state; the controller's incremental path must land back within
+// 1% of the initial configuration's benefit.
+func TestControllerRepairRoundTrip(t *testing.T) {
+	bench := newBench(t, 67)
+	c := newTestController(t, bench)
+	before := c.Config()
+	beforeBenefit := benefitOf(t, bench, before)
+
+	x := before.Prefixes[0][0]
+	for _, ev := range []netsim.Event{
+		{Kind: netsim.EventPeeringDown, Ingress: x},
+		{Kind: netsim.EventPeeringUp, Ingress: x},
+	} {
+		if err := bench.world.ApplyEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := benefitOf(t, bench, c.Config())
+	if got < 0.99*beforeBenefit-1e-9 {
+		t.Errorf("post-recovery benefit %.3f below 99%% of initial %.3f", got, beforeBenefit)
+	}
+}
+
+// TestControllerForceFullSolve: the benchmark control arm must take the
+// full-solve path on every dirtying sync.
+func TestControllerForceFullSolve(t *testing.T) {
+	bench := newBench(t, 71)
+	c, err := NewController(bench.world, bench.ugs, ControllerParams{
+		Solver: DefaultParams(ctrlBudget), ForceFullSolve: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	x := c.Config().Prefixes[0][0]
+	if err := bench.world.ApplyEvent(netsim.Event{Kind: netsim.EventPeeringDown, Ingress: x}); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := c.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullSolve || rep.Repaired {
+		t.Errorf("ForceFullSolve sync report %+v, want FullSolve", rep)
+	}
+}
+
+// TestControllerSyncIdempotentWhenQuiet: with no events queued, Sync
+// must return the same config and touch nothing.
+func TestControllerSyncIdempotentWhenQuiet(t *testing.T) {
+	bench := newBench(t, 73)
+	c := newTestController(t, bench)
+	before := configBytes(c.Config())
+	for i := 0; i < 3; i++ {
+		cfg, rep, err := c.Sync()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Events != 0 || rep.Repaired || rep.FullSolve {
+			t.Fatalf("quiet sync did work: %+v", rep)
+		}
+		if !bytes.Equal(configBytes(cfg), before) {
+			t.Fatal("quiet sync changed the config")
+		}
+	}
+}

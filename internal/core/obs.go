@@ -36,3 +36,30 @@ func newSolveMetrics(r *obs.Registry) solveMetrics {
 
 // on reports whether instrumentation is live (gates clock reads).
 func (m *solveMetrics) on() bool { return m.solveSeconds != nil }
+
+// repairMetrics bundles the continuous controller's metric handles.
+type repairMetrics struct {
+	events        *obs.Counter
+	repairs       *obs.Counter
+	fullSolves    *obs.Counter
+	noops         *obs.Counter
+	repairSeconds *obs.Histogram
+	dirtyFraction *obs.Gauge
+}
+
+func newRepairMetrics(r *obs.Registry) repairMetrics {
+	if r == nil {
+		return repairMetrics{}
+	}
+	return repairMetrics{
+		events:        r.Counter("core_controller_events_total", "netsim events consumed by the continuous controller"),
+		repairs:       r.Counter("core_repairs_total", "incremental warm-start repairs performed"),
+		fullSolves:    r.Counter("core_full_resolves_total", "full re-solves (dirty fraction above threshold or forced)"),
+		noops:         r.Counter("core_repair_noops_total", "syncs that dirtied nothing (traffic-only or absorbed events)"),
+		repairSeconds: r.Histogram("core_repair_seconds", "wall time of one controller sync that recomputed config"),
+		dirtyFraction: r.Gauge("core_repair_dirty_fraction", "dirty prefixes / config prefixes at the latest sync"),
+	}
+}
+
+// on reports whether instrumentation is live (gates clock reads).
+func (m *repairMetrics) on() bool { return m.repairSeconds != nil }

@@ -130,12 +130,14 @@ func (o *Orchestrator) Solve() (Config, error) {
 		span.A("ugs", strconv.Itoa(len(o.states))))
 	defer root.Finish()
 	var best Config
+	bestSet := false
 	bestBenefit := math.Inf(-1)
 	prevBenefit := math.Inf(-1)
+	prevSet := false
 	for iter := 0; iter < o.params.MaxIterations; iter++ {
 		iterSpan := root.StartChild("core.iteration",
 			span.A("iteration", strconv.Itoa(iter+1)))
-		cfg := o.computeConfig(iterSpan)
+		cfg := o.computeConfig(iterSpan, nil, nil)
 		rep := IterationReport{
 			Iteration:          iter + 1,
 			Config:             cfg.Clone(),
@@ -179,20 +181,44 @@ func (o *Orchestrator) Solve() (Config, error) {
 		o.reports = append(o.reports, rep)
 		iterSpan.SetAttr("facts_learned", strconv.Itoa(rep.FactsLearned))
 		iterSpan.Finish()
-		if rep.RealizedBenefit > bestBenefit {
+		// NaN never compares greater, so an unguarded `>` would silently
+		// keep the zero Config when every iteration's benefit is NaN (a
+		// pathological executor or measurement feed). Track explicitly
+		// whether any iteration produced a comparable benefit; -Inf is
+		// comparable (a terrible config is still a config).
+		if !math.IsNaN(rep.RealizedBenefit) && (!bestSet || rep.RealizedBenefit > bestBenefit) {
+			bestSet = true
 			bestBenefit = rep.RealizedBenefit
 			best = cfg
 		}
 
-		if prevBenefit > 0 {
-			gain := (rep.RealizedBenefit - prevBenefit) / prevBenefit
+		// Terminate learning when an iteration adds little benefit and no
+		// new facts. For positive benefits the threshold is relative
+		// (MinIterBenefitGain as a fraction of the previous benefit, as in
+		// §3.1); when realized benefit is zero or negative a relative gain
+		// is meaningless (the old `prevBenefit > 0` guard simply never
+		// fired and degenerate runs burned all MaxIterations), so fall
+		// back to an absolute delta scaled by max(|prev|, 1).
+		if prevSet && !math.IsNaN(rep.RealizedBenefit) {
+			scale := prevBenefit
+			if scale <= 0 {
+				scale = math.Abs(prevBenefit)
+				if scale < 1 {
+					scale = 1
+				}
+			}
+			gain := (rep.RealizedBenefit - prevBenefit) / scale
 			if gain < o.params.MinIterBenefitGain && rep.FactsLearned == 0 {
 				break
 			}
 		}
-		if rep.RealizedBenefit > prevBenefit {
+		if !math.IsNaN(rep.RealizedBenefit) && (!prevSet || rep.RealizedBenefit > prevBenefit) {
+			prevSet = true
 			prevBenefit = rep.RealizedBenefit
 		}
+	}
+	if !bestSet {
+		return Config{}, fmt.Errorf("core: no iteration produced a comparable realized benefit (all NaN)")
 	}
 	return best, nil
 }
@@ -207,19 +233,43 @@ type candItem struct {
 }
 type candHeap []candItem
 
-func (h candHeap) Len() int           { return len(h) }
-func (h candHeap) Less(i, j int) bool { return h[i].marginal > h[j].marginal }
-func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h candHeap) Len() int { return len(h) }
+
+// Less orders by marginal benefit, breaking ties by IngressID so
+// equal-marginal candidates pop in a total, input-independent order.
+// Without the tie-break the pop order of ties depends on heap-internal
+// layout — deterministic for one call sequence, but a latent hole for
+// the warm-start repair path, which grows prefixes from differently
+// ordered candidate slices than a cold solve.
+func (h candHeap) Less(i, j int) bool {
+	if h[i].marginal != h[j].marginal {
+		return h[i].marginal > h[j].marginal
+	}
+	return h[i].ing < h[j].ing
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *candHeap) Push(x any)        { *h = append(*h, x.(candItem)) }
 func (h *candHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
 // ComputeConfig runs one full pass of Algorithm 1's two inner loops with
 // the current routing model, returning the chosen configuration.
-func (o *Orchestrator) ComputeConfig() Config { return o.computeConfig(nil) }
+func (o *Orchestrator) ComputeConfig() Config { return o.computeConfig(nil, nil, nil) }
 
-// computeConfig is ComputeConfig with one span per prefix placement
-// hung off parent (nil parent: no tracing, one branch per prefix).
-func (o *Orchestrator) computeConfig(parent *span.Span) Config {
+// ComputeConfigLive is ComputeConfig restricted to peerings for which
+// live returns true (nil live = all peerings). The continuous controller
+// uses it so a full re-solve after failures never places a withdrawn
+// peering.
+func (o *Orchestrator) ComputeConfigLive(live func(bgp.IngressID) bool) Config {
+	return o.computeConfig(nil, live, nil)
+}
+
+// computeConfig is ComputeConfig with one span per prefix placement hung
+// off parent (nil parent: no tracing, one branch per prefix), an
+// optional live-peering filter, and an optional dark mask excluding UG
+// states from the benefit model (states whose AS currently has no
+// anycast route; the continuous controller marks them during outages,
+// mirroring how SimInputs drops uncovered UGs from a cold solve).
+func (o *Orchestrator) computeConfig(parent *span.Span, live func(bgp.IngressID) bool, dark []bool) Config {
 	// Per-UG frozen best across anycast + completed prefixes.
 	bestFrozen := make([]float64, len(o.states))
 	for i, st := range o.states {
@@ -227,7 +277,7 @@ func (o *Orchestrator) computeConfig(parent *span.Span) Config {
 	}
 
 	var cfg Config
-	allPeerings := o.in.Deploy.AllPeeringIDs()
+	allPeerings := o.candidatePeerings(live)
 
 	for p := 0; p < o.params.PrefixBudget; p++ {
 		var growStart time.Time
@@ -239,7 +289,7 @@ func (o *Orchestrator) computeConfig(parent *span.Span) Config {
 			placeSpan = parent.StartChild("core.place_prefix",
 				span.A("prefix", strconv.Itoa(p)))
 		}
-		S := o.growPrefix(allPeerings, bestFrozen)
+		S := o.growPrefix(allPeerings, bestFrozen, dark)
 		if placeSpan != nil {
 			placeSpan.SetAttr("peerings", strconv.Itoa(len(S)))
 			placeSpan.Finish()
@@ -253,19 +303,47 @@ func (o *Orchestrator) computeConfig(parent *span.Span) Config {
 		o.m.prefixesPlaced.Inc()
 		cfg.Prefixes = append(cfg.Prefixes, S)
 		// Freeze this prefix's contribution into bestFrozen.
-		for i, st := range o.states {
-			if e := st.expect(S, o.params.ReuseKm); e.Usable() && e.Mean < bestFrozen[i] {
-				bestFrozen[i] = e.Mean
-			}
-		}
+		o.freezePrefix(S, bestFrozen, dark)
 	}
 	return cfg
 }
 
+// candidatePeerings returns the deployment's peerings filtered by live
+// (nil = all), in deployment (ID) order.
+func (o *Orchestrator) candidatePeerings(live func(bgp.IngressID) bool) []bgp.IngressID {
+	all := o.in.Deploy.AllPeeringIDs()
+	if live == nil {
+		return all
+	}
+	out := make([]bgp.IngressID, 0, len(all))
+	for _, id := range all {
+		if live(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// freezePrefix folds prefix S's contribution into bestFrozen, skipping
+// dark states.
+func (o *Orchestrator) freezePrefix(S []bgp.IngressID, bestFrozen []float64, dark []bool) {
+	for i, st := range o.states {
+		if dark != nil && dark[i] {
+			continue
+		}
+		if e := st.expect(S, o.params.ReuseKm); e.Usable() && e.Mean < bestFrozen[i] {
+			bestFrozen[i] = e.Mean
+		}
+	}
+}
+
 // growPrefix implements the inner while-loop: advertise one prefix via
 // as many peerings as keep marginal benefit positive, in ranked order of
-// modeled improvement.
-func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []float64) []bgp.IngressID {
+// modeled improvement. Candidates come from allPeerings; dark states
+// (nil = none) contribute no marginal benefit. growPrefix does not
+// mutate orchestrator state, so distinct calls with disjoint outputs may
+// run concurrently (the warm-start repair path does).
+func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []float64, dark []bool) []bgp.IngressID {
 	var S []bgp.IngressID
 	inS := make(map[bgp.IngressID]bool)
 	// curE[i] is Eq(2) for the growing prefix, +Inf when unusable.
@@ -277,6 +355,9 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 	marginalOf := func(x bgp.IngressID) float64 {
 		var delta float64
 		for _, i := range o.byIngress[x] {
+			if dark != nil && dark[i] {
+				continue
+			}
 			st := o.states[i]
 			oldVal := math.Min(bestFrozen[i], curE[i])
 			e := st.expect(append(S, x), o.params.ReuseKm)

@@ -404,3 +404,130 @@ func TestEvaluateOnePerPeeringFullCaptures(t *testing.T) {
 		t.Errorf("full one-per-peering captures %.4f of possible, want ~1", f)
 	}
 }
+
+// --- Convergence-loop regression tests (bugfix satellites) -----------------
+
+// stubExec is an Executor returning fixed observations.
+type stubExec struct {
+	obs   []Observation
+	calls int
+}
+
+func (s *stubExec) Execute(Config) ([]Observation, error) {
+	s.calls++
+	return s.obs, nil
+}
+
+// TestSolveEarlyExitsOnNonPositiveBenefit: with an executor that never
+// observes anything, realized benefit is 0 every round and no facts are
+// learned. The old `prevBenefit > 0` guard never fired for non-positive
+// benefits, so such degenerate runs burned all MaxIterations; the
+// absolute-delta fallback must stop after the second (no-gain) round.
+func TestSolveEarlyExitsOnNonPositiveBenefit(t *testing.T) {
+	b := newBench(t, 89)
+	p := DefaultParams(3)
+	p.MaxIterations = 8
+	exec := &stubExec{}
+	o, err := New(b.in, exec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Reports()); got != 2 {
+		t.Errorf("degenerate run produced %d iterations, want early exit after 2", got)
+	}
+	if exec.calls != 2 {
+		t.Errorf("executor ran %d times, want 2", exec.calls)
+	}
+}
+
+// TestSolveEarlyExitsOnNegativeBenefit covers the strictly negative
+// plateau: equal negative benefits with no new facts must also stop.
+func TestSolveEarlyExitsOnNegativeBenefit(t *testing.T) {
+	b := newBench(t, 97)
+	p := DefaultParams(3)
+	p.MaxIterations = 8
+	// Observations worse than anycast for every UG: realized benefit < 0
+	// (weights positive, latency above anycast), and after round one the
+	// same observations teach nothing new.
+	var obs []Observation
+	for _, ug := range b.ugs.UGs {
+		any, err := b.in.AnycastMs(ug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = any
+		obs = append(obs, Observation{UG: ug.ID, Prefix: 0, Ingress: bgp.IngressID(1 << 20), LatencyMs: 1e6})
+		break // one UG is enough; others stay at anycast
+	}
+	exec := &stubExec{obs: obs}
+	o, err := New(b.in, exec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Reports()); got > 3 {
+		t.Errorf("negative-benefit plateau ran %d iterations, want early exit", got)
+	}
+}
+
+// TestSolveAllNaNBenefitReturnsError: a pathological measurement feed
+// (NaN anycast) makes every iteration's RealizedBenefit NaN. NaN never
+// compares greater, so the unguarded best comparison used to fall
+// through and return the zero Config with a nil error.
+func TestSolveAllNaNBenefitReturnsError(t *testing.T) {
+	b := newBench(t, 101)
+	in := b.in
+	in.AnycastMs = func(ug usergroup.UG) (float64, error) { return math.NaN(), nil }
+	p := DefaultParams(3)
+	p.MaxIterations = 2
+	o, err := New(in, b.exec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.Solve()
+	if err == nil {
+		t.Fatalf("all-NaN benefits returned cfg with %d prefixes and nil error; want an error",
+			cfg.NumPrefixes())
+	}
+}
+
+// TestGrowPrefixTieBreaksByIngressID: equal-marginal candidates must pop
+// in IngressID order, not heap-internal order. Three identical
+// candidates (same estimate, same distance, same UG) tie exactly; the
+// grown prefix must contain the lowest ID.
+func TestGrowPrefixTieBreaksByIngressID(t *testing.T) {
+	cands := []bgp.IngressID{5, 3, 9}
+	st := &ugState{
+		ug:        usergroup.UG{ID: 1, Weight: 1},
+		compliant: map[bgp.IngressID]bool{5: true, 3: true, 9: true},
+		est:       map[bgp.IngressID]float64{5: 10, 3: 10, 9: 10},
+		popDist:   map[bgp.IngressID]float64{5: 0, 3: 0, 9: 0},
+		anycast:   100,
+		beats:     map[bgp.IngressID]map[bgp.IngressID]bool{},
+	}
+	o := &Orchestrator{
+		params:    Params{PrefixBudget: 1, ReuseKm: 3000},
+		states:    []*ugState{st},
+		byIngress: map[bgp.IngressID][]int{5: {0}, 3: {0}, 9: {0}},
+	}
+	for run := 0; run < 5; run++ {
+		S := o.growPrefix(cands, []float64{st.anycast}, nil)
+		if len(S) != 1 || S[0] != 3 {
+			t.Fatalf("run %d: grew %v, want [3] (lowest tied IngressID)", run, S)
+		}
+	}
+	// The tie-break must be insensitive to candidate order (the warm-start
+	// repair path grows from differently ordered slices).
+	perms := [][]bgp.IngressID{{9, 5, 3}, {3, 9, 5}, {9, 3, 5}}
+	for _, p := range perms {
+		S := o.growPrefix(p, []float64{st.anycast}, nil)
+		if len(S) != 1 || S[0] != 3 {
+			t.Fatalf("candidates %v: grew %v, want [3]", p, S)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+// Repair-vs-full-solve benchmark for the continuous re-solve
+// controller: two same-seed twin worlds receive an identical stream of
+// single-event churn (peering flaps, latency spikes, preference flips).
+// One world is maintained by a warm-start repair controller, the twin
+// by a ForceFullSolve controller that recomputes from scratch on every
+// dirtying sync. Each sync is timed; the headline number is the median
+// per-trial speedup of repair over full solve, plus a quality check
+// that the two arms end the run with equivalent benefit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"painter/internal/core"
+	"painter/internal/netsim"
+	"painter/internal/stats"
+)
+
+// ResolveBenchConfig parameterizes the benchmark.
+type ResolveBenchConfig struct {
+	// Seed drives event generation (twin worlds reuse the env seed).
+	Seed int64
+	// Trials is the minimum number of single-event syncs (default 40;
+	// the stream may run one event long so flap/spike pairs stay whole).
+	Trials int
+	// Budget is the prefix budget (default: 30% of peerings, min 10 —
+	// the regime where PAINTER actually operates, many prefixes per
+	// deployment, which is also where incrementality pays: repair cost
+	// scales with the dirty count, full-solve cost with the budget).
+	Budget int
+}
+
+// ResolveBenchResult is the benchmark outcome; it marshals directly to
+// BENCH_RESOLVE.json.
+type ResolveBenchResult struct {
+	Scale    string `json:"scale"`
+	Seed     int64  `json:"seed"`
+	Peerings int    `json:"peerings"`
+	UGs      int    `json:"ugs"`
+	Budget   int    `json:"budget"`
+	Trials   int    `json:"trials"`
+
+	// Repair-arm outcome counts across all trials.
+	Repaired   int `json:"repaired"`
+	FullSolves int `json:"full_solves"`
+	Noops      int `json:"noops"`
+
+	// Paired is the number of trials in the speedup sample: repair arm
+	// took the warm-start path while the control arm re-solved.
+	Paired          int     `json:"paired"`
+	RepairMedianMs  float64 `json:"repair_median_ms"`
+	FullMedianMs    float64 `json:"full_median_ms"`
+	MedianSpeedup   float64 `json:"median_speedup"`
+	P90Speedup      float64 `json:"p90_speedup"`
+	MedianDirtyFrac float64 `json:"median_dirty_frac"`
+
+	// Final ground-truth benefits of the two arms on their (identical)
+	// end-state worlds; RepairVsFull is their ratio.
+	RepairBenefit float64 `json:"repair_benefit"`
+	FullBenefit   float64 `json:"full_benefit"`
+	RepairVsFull  float64 `json:"repair_vs_full"`
+}
+
+// RunResolveBench runs the twin-controller churn benchmark.
+func RunResolveBench(env *Env, cfg ResolveBenchConfig) (*ResolveBenchResult, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 40
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = env.Budgets([]float64{0.3})[0]
+		if cfg.Budget < 10 {
+			cfg.Budget = 10
+		}
+	}
+
+	// Twin worlds: same seed, independent caches, so each arm pays its
+	// own query costs and neither warms the other's memos.
+	w1, err := netsim.New(env.Graph, env.Deploy, env.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	w2, err := netsim.New(env.Graph, env.Deploy, env.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	repairArm, err := core.NewController(w1, env.AllUGs, core.ControllerParams{
+		Solver: core.DefaultParams(cfg.Budget),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer repairArm.Stop()
+	fullArm, err := core.NewController(w2, env.AllUGs, core.ControllerParams{
+		Solver: core.DefaultParams(cfg.Budget), ForceFullSolve: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fullArm.Stop()
+
+	res := &ResolveBenchResult{
+		Scale: env.Scale.String(), Seed: cfg.Seed,
+		Peerings: len(env.Deploy.AllPeeringIDs()), UGs: env.AllUGs.Len(),
+		Budget: cfg.Budget,
+	}
+
+	var repairMs, fullMs, speedups, dirtyFracs []float64
+	for _, ev := range churnEvents(env, cfg) {
+		if err := w1.ApplyEvent(ev); err != nil {
+			return nil, fmt.Errorf("experiments: resolve bench: %w", err)
+		}
+		if err := w2.ApplyEvent(ev); err != nil {
+			return nil, fmt.Errorf("experiments: resolve bench twin: %w", err)
+		}
+		t0 := time.Now()
+		_, rep1, err := repairArm.Sync()
+		if err != nil {
+			return nil, err
+		}
+		d1 := time.Since(t0)
+		t1 := time.Now()
+		_, rep2, err := fullArm.Sync()
+		if err != nil {
+			return nil, err
+		}
+		d2 := time.Since(t1)
+
+		res.Trials++
+		switch {
+		case rep1.Repaired:
+			res.Repaired++
+		case rep1.FullSolve:
+			res.FullSolves++
+		default:
+			res.Noops++
+		}
+		if rep1.Repaired && rep2.FullSolve {
+			res.Paired++
+			repairMs = append(repairMs, float64(d1.Nanoseconds())/1e6)
+			fullMs = append(fullMs, float64(d2.Nanoseconds())/1e6)
+			speedups = append(speedups, float64(d2.Nanoseconds())/float64(d1.Nanoseconds()))
+			dirtyFracs = append(dirtyFracs, rep1.DirtyFraction)
+		}
+	}
+	if res.Paired == 0 {
+		return nil, fmt.Errorf("experiments: resolve bench produced no paired repair/full trials")
+	}
+	res.RepairMedianMs = quantile(repairMs, 0.5)
+	res.FullMedianMs = quantile(fullMs, 0.5)
+	res.MedianSpeedup = quantile(speedups, 0.5)
+	res.P90Speedup = quantile(speedups, 0.9)
+	res.MedianDirtyFrac = quantile(dirtyFracs, 0.5)
+
+	// Quality check: both arms end on the same world state; compare
+	// ground-truth benefit of their final configs.
+	ev1, err := core.Evaluate(w1, env.AllUGs, repairArm.Config())
+	if err != nil {
+		return nil, err
+	}
+	ev2, err := core.Evaluate(w2, env.AllUGs, fullArm.Config())
+	if err != nil {
+		return nil, err
+	}
+	res.RepairBenefit, res.FullBenefit = ev1.Benefit, ev2.Benefit
+	if ev2.Benefit != 0 {
+		res.RepairVsFull = ev1.Benefit / ev2.Benefit
+	}
+	return res, nil
+}
+
+// churnEvents builds a deterministic single-event stream: peering flaps
+// (down then up), latency spikes (set then clear), and preference
+// flips, so the world keeps returning to health and every sync handles
+// exactly one event. Pairs are never split, so the stream may run one
+// event past Trials and always ends with every failure recovered and
+// every spike cleared.
+func churnEvents(env *Env, cfg ResolveBenchConfig) []netsim.Event {
+	rng := stats.NewRand(cfg.Seed + 0x5eed)
+	ids := env.Deploy.AllPeeringIDs()
+	ugs := env.AllUGs.UGs
+	var evs []netsim.Event
+	for len(evs) < cfg.Trials {
+		switch rng.Intn(3) {
+		case 0:
+			x := ids[rng.Intn(len(ids))]
+			evs = append(evs,
+				netsim.Event{Kind: netsim.EventPeeringDown, Ingress: x},
+				netsim.Event{Kind: netsim.EventPeeringUp, Ingress: x})
+		case 1:
+			x := ids[rng.Intn(len(ids))]
+			evs = append(evs,
+				netsim.Event{Kind: netsim.EventLatencySpike, Ingress: x, Ms: 20 + rng.Float64()*120},
+				netsim.Event{Kind: netsim.EventLatencySpike, Ingress: x, Ms: 0})
+		default:
+			evs = append(evs, netsim.Event{
+				Kind:    netsim.EventPrefFlip,
+				AS:      ugs[rng.Intn(len(ugs))].ASN,
+				Ingress: ids[rng.Intn(len(ids))],
+			})
+		}
+	}
+	return evs
+}
+
+// quantile returns the q-quantile of xs (nearest-rank on a sorted copy).
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// Table renders the result for painter-bench.
+func (r *ResolveBenchResult) Table() Table {
+	return Table{
+		Title: fmt.Sprintf("repair vs full re-solve (%s scale, budget %d, %d trials)",
+			r.Scale, r.Budget, r.Trials),
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"paired trials", fmt.Sprintf("%d", r.Paired)},
+			{"repaired / full / noop", fmt.Sprintf("%d / %d / %d", r.Repaired, r.FullSolves, r.Noops)},
+			{"repair median ms", fmt.Sprintf("%.3f", r.RepairMedianMs)},
+			{"full median ms", fmt.Sprintf("%.3f", r.FullMedianMs)},
+			{"median speedup", fmt.Sprintf("%.2fx", r.MedianSpeedup)},
+			{"p90 speedup", fmt.Sprintf("%.2fx", r.P90Speedup)},
+			{"median dirty fraction", F(r.MedianDirtyFrac)},
+			{"final repair benefit", F(r.RepairBenefit)},
+			{"final full benefit", F(r.FullBenefit)},
+			{"repair / full", fmt.Sprintf("%.4f", r.RepairVsFull)},
+		},
+	}
+}
+
+// WriteJSON writes the result to path as indented JSON.
+func (r *ResolveBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
