@@ -9,7 +9,7 @@ COVER_FLOOR = 70
 # Native fuzz targets smoke-tested by `make fuzz` (one -fuzz per run).
 FUZZ_TIME ?= 10s
 
-.PHONY: all build build-obsstrip vet test race fuzz cover lint bench bench-json bench-obs experiments examples clean
+.PHONY: all build build-obsstrip vet test race fuzz cover lint bench bench-smoke bench-json bench-obs experiments examples clean
 
 all: build build-obsstrip vet test
 
@@ -40,7 +40,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/obs/span/ ./internal/controlapi/
+	$(GO) test -race ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/obs/span/ ./internal/controlapi/ ./internal/usergroup/
 
 # Short fuzzing smoke on the wire decoders: each target runs for
 # FUZZ_TIME (go test allows one -fuzz pattern per invocation).
@@ -65,12 +65,19 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Compile-and-run every benchmark once (-benchtime=1x): catches bit-rot
+# in benchmark code without paying for real measurement. CI runs this.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
 # Benchmark the dense propagation engine against the reference oracle at
 # ScaleSmall and record the numbers (ns/op, allocs/op, speedup), then the
-# continuous controller's repair-vs-full-solve speedup under churn.
+# continuous controller's repair-vs-full-solve speedup under churn, then
+# the solve wall-clock/memory sweep across small/peering/azure scales.
 bench-json:
 	$(GO) run ./cmd/benchprop -out BENCH_PROPAGATE.json
 	$(GO) run ./cmd/painter-bench -exp resolve -scale small -resolve-out BENCH_RESOLVE.json
+	$(GO) run ./cmd/painter-bench -exp scale -scale-out BENCH_SCALE.json
 
 # Measure observability overhead on the propagation hot path: live obs
 # vs the no-op default, plus the -tags obsstrip compile-time-stripped

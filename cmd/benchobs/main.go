@@ -18,6 +18,7 @@ import (
 	"strings"
 	"testing"
 
+	"painter/internal/benchmeta"
 	"painter/internal/bgp"
 	"painter/internal/experiments"
 	"painter/internal/obs"
@@ -36,6 +37,7 @@ type Result struct {
 // "stripped", "trace_off", "trace_sampled", and "trace_full" to their
 // numbers; the overhead fields compare pairs once both are present.
 type Report struct {
+	benchmeta.Meta
 	Scale       string            `json:"scale"`
 	Seed        int64             `json:"seed"`
 	TraceSample int               `json:"trace_sample"`
@@ -108,6 +110,7 @@ func main() {
 		}
 	}
 
+	rep.Meta = benchmeta.Collect() // restamp on every (possibly merging) run
 	rep.TraceSample = *sample
 	type benchMode struct {
 		name string

@@ -12,6 +12,7 @@ import (
 	"os"
 	"testing"
 
+	"painter/internal/benchmeta"
 	"painter/internal/bgp"
 	"painter/internal/experiments"
 )
@@ -26,6 +27,7 @@ type Result struct {
 
 // Report is the BENCH_PROPAGATE.json schema.
 type Report struct {
+	benchmeta.Meta
 	Scale      string  `json:"scale"`
 	Seed       int64   `json:"seed"`
 	ASes       int     `json:"ases"`
@@ -85,6 +87,7 @@ func main() {
 	})
 
 	rep := Report{
+		Meta:       benchmeta.Collect(),
 		Scale:      "small",
 		Seed:       *seed,
 		ASes:       env.Graph.Len(),

@@ -9,6 +9,9 @@
 //	painter-bench -exp all                # everything (slow at -scale azure)
 //	painter-bench -exp fig6b -scale peering -seed 7 -iters 3
 //	painter-bench -exp fig6a -metrics-dump obs.jsonl
+//	painter-bench -exp all -scale azure -skip-slow   # sweeps become SKIP lines
+//	painter-bench -exp all -time-budget 5m           # stop starting new experiments after 5m
+//	painter-bench -exp scale -scale-out BENCH_SCALE.json
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"painter/internal/benchmeta"
 	"painter/internal/bgp"
 	"painter/internal/experiments"
 	"painter/internal/obs"
@@ -32,6 +36,11 @@ type runCtx struct {
 	// resolveOut, when set, makes the resolve experiment write its
 	// result as JSON (BENCH_RESOLVE.json).
 	resolveOut string
+	// scaleOut, when set, makes the scale experiment write its result
+	// as JSON (BENCH_SCALE.json).
+	scaleOut string
+	// workers is the solver worker count for the scale sweep.
+	workers int
 	// fig6aRows is cached so fig14 (a re-projection of the same sweep)
 	// reuses fig6a's rows instead of re-solving.
 	fig6aRows []experiments.Fig6aResult
@@ -53,13 +62,17 @@ type experiment struct {
 	id       string
 	desc     string
 	needsEnv bool
-	run      func(c *runCtx) error
+	// slow marks experiments that run full solver sweeps — the ones
+	// -skip-slow elides and the time budget guards, so `-exp all
+	// -scale azure` degrades to explicit SKIP lines instead of hanging.
+	slow bool
+	run  func(c *runCtx) error
 }
 
 // experimentList holds every experiment in run order. fig6a precedes
 // fig14 so an "all" run computes the shared sweep once.
 var experimentList = []experiment{
-	{"fig3", "latency-vs-geodistance analysis of the measurement corpus", false, func(c *runCtx) error {
+	{"fig3", "latency-vs-geodistance analysis of the measurement corpus", false, false, func(c *runCtx) error {
 		an, err := experiments.RunFig3()
 		if err != nil {
 			return err
@@ -67,11 +80,11 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig3Table(an))
 		return nil
 	}},
-	{"fig8", "prefix-generalization model comparison", false, func(c *runCtx) error {
+	{"fig8", "prefix-generalization model comparison", false, false, func(c *runCtx) error {
 		fmt.Println(experiments.Fig8Table(experiments.RunFig8()))
 		return nil
 	}},
-	{"fig10", "TM failover timeline on a live UDP edge/PoP pair", false, func(c *runCtx) error {
+	{"fig10", "TM failover timeline on a live UDP edge/PoP pair", false, false, func(c *runCtx) error {
 		res, err := experiments.RunFig10(experiments.DefaultFig10Config())
 		if err != nil {
 			return err
@@ -79,7 +92,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig10Table(res))
 		return nil
 	}},
-	{"fig6a", "median latency improvement vs prefix budget", true, func(c *runCtx) error {
+	{"fig6a", "median latency improvement vs prefix budget", true, true, func(c *runCtx) error {
 		rows, err := c.fig6a()
 		if err != nil {
 			return err
@@ -87,7 +100,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig6aTable(rows))
 		return nil
 	}},
-	{"fig14", "per-UG improvement distribution (reuses the fig6a sweep)", true, func(c *runCtx) error {
+	{"fig14", "per-UG improvement distribution (reuses the fig6a sweep)", true, true, func(c *runCtx) error {
 		rows, err := c.fig6a()
 		if err != nil {
 			return err
@@ -95,7 +108,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig14Table(rows))
 		return nil
 	}},
-	{"fig6b", "improvement vs number of PoPs", true, func(c *runCtx) error {
+	{"fig6b", "improvement vs number of PoPs", true, true, func(c *runCtx) error {
 		rows, err := experiments.RunFig6b(c.env, nil, c.iters)
 		if err != nil {
 			return err
@@ -103,7 +116,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig6bTable(rows))
 		return nil
 	}},
-	{"fig6c", "improvement vs learning iterations at a fixed budget", true, func(c *runCtx) error {
+	{"fig6c", "improvement vs learning iterations at a fixed budget", true, true, func(c *runCtx) error {
 		budget := c.env.Budgets([]float64{0.1})[0]
 		rows, err := experiments.RunFig6c(c.env, budget, 4)
 		if err != nil {
@@ -112,7 +125,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig6cTable(rows))
 		return nil
 	}},
-	{"fig7", "latency CDFs at small prefix budgets", true, func(c *runCtx) error {
+	{"fig7", "latency CDFs at small prefix budgets", true, true, func(c *runCtx) error {
 		budgets := c.env.Budgets([]float64{0.002, 0.021})
 		pts, err := experiments.RunFig7(c.env, budgets, 25, c.iters)
 		if err != nil {
@@ -121,7 +134,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig7Table(pts))
 		return nil
 	}},
-	{"fig9a", "anycast vs unicast ingress latency", true, func(c *runCtx) error {
+	{"fig9a", "anycast vs unicast ingress latency", true, false, func(c *runCtx) error {
 		rows, err := experiments.RunFig9a(c.env)
 		if err != nil {
 			return err
@@ -129,7 +142,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig9aTable(rows))
 		return nil
 	}},
-	{"fig9b", "PAINTER vs anycast improvement by budget", true, func(c *runCtx) error {
+	{"fig9b", "PAINTER vs anycast improvement by budget", true, true, func(c *runCtx) error {
 		rows, err := experiments.RunFig9b(c.env, nil, c.iters)
 		if err != nil {
 			return err
@@ -137,7 +150,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig9bTable(rows))
 		return nil
 	}},
-	{"fig11a", "failover latency inflation to the next-best ingress", true, func(c *runCtx) error {
+	{"fig11a", "failover latency inflation to the next-best ingress", true, false, func(c *runCtx) error {
 		res, err := experiments.RunFig11a(c.env)
 		if err != nil {
 			return err
@@ -145,7 +158,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig11aTable(res))
 		return nil
 	}},
-	{"fig11b", "ingress diversity under failure", true, func(c *runCtx) error {
+	{"fig11b", "ingress diversity under failure", true, false, func(c *runCtx) error {
 		res, err := experiments.RunFig11b(c.env)
 		if err != nil {
 			return err
@@ -153,7 +166,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig11bTable(res))
 		return nil
 	}},
-	{"fig12a", "latency during PoP maintenance", true, func(c *runCtx) error {
+	{"fig12a", "latency during PoP maintenance", true, false, func(c *runCtx) error {
 		rows, err := experiments.RunFig12a(c.env)
 		if err != nil {
 			return err
@@ -161,7 +174,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig12aTable(rows))
 		return nil
 	}},
-	{"fig12b", "latency during peering maintenance", true, func(c *runCtx) error {
+	{"fig12b", "latency during peering maintenance", true, false, func(c *runCtx) error {
 		rows, err := experiments.RunFig12b(c.env)
 		if err != nil {
 			return err
@@ -169,7 +182,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig12bTable(rows))
 		return nil
 	}},
-	{"fig15a", "update-rate sensitivity (announcement churn)", true, func(c *runCtx) error {
+	{"fig15a", "update-rate sensitivity (announcement churn)", true, true, func(c *runCtx) error {
 		rows, err := experiments.RunFig15a(c.env, nil, 1)
 		if err != nil {
 			return err
@@ -177,7 +190,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.Fig15aTable(rows))
 		return nil
 	}},
-	{"chaos", "randomized failure injection with TM failover", true, func(c *runCtx) error {
+	{"chaos", "randomized failure injection with TM failover", true, true, func(c *runCtx) error {
 		res, err := experiments.RunChaosFailover(c.env, experiments.ChaosFailoverConfig{Seed: c.seed})
 		if err != nil {
 			return err
@@ -185,13 +198,14 @@ var experimentList = []experiment{
 		fmt.Println(res.Table())
 		return nil
 	}},
-	{"resolve", "incremental repair vs full re-solve under single-event churn", true, func(c *runCtx) error {
+	{"resolve", "incremental repair vs full re-solve under single-event churn", true, true, func(c *runCtx) error {
 		res, err := experiments.RunResolveBench(c.env, experiments.ResolveBenchConfig{Seed: c.seed})
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Table())
 		if c.resolveOut != "" {
+			res.Meta = benchmeta.Collect()
 			if err := res.WriteJSON(c.resolveOut); err != nil {
 				return err
 			}
@@ -199,7 +213,24 @@ var experimentList = []experiment{
 		}
 		return nil
 	}},
-	{"validation", "policy-compliance validation of simulated routing", true, func(c *runCtx) error {
+	{"scale", "solve wall-clock and memory across small/peering/azure", false, true, func(c *runCtx) error {
+		rep, err := experiments.RunScaleBench(experiments.ScaleBenchConfig{
+			Seed: c.seed, Workers: c.workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Table())
+		if c.scaleOut != "" {
+			rep.Meta = benchmeta.Collect()
+			if err := rep.WriteJSON(c.scaleOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", c.scaleOut)
+		}
+		return nil
+	}},
+	{"validation", "policy-compliance validation of simulated routing", true, false, func(c *runCtx) error {
 		v, err := experiments.RunComplianceValidation(c.env)
 		if err != nil {
 			return err
@@ -207,7 +238,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.ComplianceValidationTable(v))
 		return nil
 	}},
-	{"ablations", "component ablations at a fixed budget", true, func(c *runCtx) error {
+	{"ablations", "component ablations at a fixed budget", true, true, func(c *runCtx) error {
 		budget := c.env.Budgets([]float64{0.03})[0]
 		rows, err := experiments.RunAblations(c.env, budget)
 		if err != nil {
@@ -216,7 +247,7 @@ var experimentList = []experiment{
 		fmt.Println(experiments.AblationTable(rows))
 		return nil
 	}},
-	{"fig15b", "prefix-count sensitivity (announcement churn)", true, func(c *runCtx) error {
+	{"fig15b", "prefix-count sensitivity (announcement churn)", true, true, func(c *runCtx) error {
 		rows, err := experiments.RunFig15b(c.env, nil, 1)
 		if err != nil {
 			return err
@@ -235,6 +266,10 @@ func main() {
 		list    = flag.Bool("list", false, "print experiment ids with descriptions and exit")
 		dump    = flag.String("metrics-dump", "", `append one JSON obs snapshot per experiment to this file ("-" = stdout)`)
 		resOut  = flag.String("resolve-out", "", "write the resolve experiment's result as JSON to this file")
+		scOut   = flag.String("scale-out", "", "write the scale experiment's result as JSON to this file")
+		workers = flag.Int("workers", 0, "solver worker count for the scale sweep (0 = GOMAXPROCS)")
+		skip    = flag.Bool("skip-slow", false, "skip solver-sweep experiments (explicit SKIP lines)")
+		budget  = flag.Duration("time-budget", 0, "stop starting new experiments once this much wall time has elapsed (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -290,10 +325,11 @@ func main() {
 		dumpFile = f
 	}
 
-	ctx := &runCtx{seed: *seed, iters: *iters, resolveOut: *resOut}
+	ctx := &runCtx{seed: *seed, iters: *iters, resolveOut: *resOut,
+		scaleOut: *scOut, workers: *workers}
 	needEnv := false
 	for _, e := range experimentList {
-		if e.needsEnv && want(e.id) {
+		if e.needsEnv && want(e.id) && !(*skip && e.slow) {
 			needEnv = true
 		}
 	}
@@ -310,8 +346,17 @@ func main() {
 		ctx.env = env
 	}
 
+	runStart := time.Now()
 	for _, e := range experimentList {
 		if !want(e.id) {
+			continue
+		}
+		if *skip && e.slow {
+			fmt.Fprintf(os.Stderr, "SKIP %s (slow experiment, -skip-slow)\n", e.id)
+			continue
+		}
+		if *budget > 0 && time.Since(runStart) > *budget {
+			fmt.Fprintf(os.Stderr, "SKIP %s (time budget %v exhausted)\n", e.id, *budget)
 			continue
 		}
 		start := time.Now()

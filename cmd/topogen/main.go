@@ -3,6 +3,7 @@
 // experiments run on.
 //
 //	topogen -tier1 12 -tier2 120 -stubs 2000 -seed 1
+//	topogen -scale azure -dump-deployment    # exact experiments.NewEnv preset
 //	topogen -stubs 500 -dump-cones -dump-deployment
 package main
 
@@ -13,18 +14,20 @@ import (
 	"sort"
 
 	"painter/internal/cloud"
+	"painter/internal/experiments"
 	"painter/internal/topology"
 )
 
 func main() {
 	var (
 		seed       = flag.Int64("seed", 1, "generator seed")
+		scale      = flag.String("scale", "", "preset: small, peering, azure (the exact experiments.NewEnv configs; overrides -tier1/-tier2/-stubs/-multihome)")
 		tier1      = flag.Int("tier1", 12, "tier-1 backbone count")
 		tier2      = flag.Int("tier2", 120, "tier-2 transit count")
 		stubs      = flag.Int("stubs", 2000, "stub AS count")
 		multihome  = flag.Float64("multihome", 2.4, "mean stub providers")
 		dumpCones  = flag.Bool("dump-cones", false, "print the 10 largest customer cones")
-		dumpDeploy = flag.Bool("dump-deployment", false, "build + summarize an Azure-profile deployment")
+		dumpDeploy = flag.Bool("dump-deployment", false, "build + summarize the deployment (azure profile unless -scale picks another)")
 	)
 	flag.Parse()
 
@@ -32,6 +35,25 @@ func main() {
 		Seed: *seed, Tier1: *tier1, Tier2: *tier2, Stubs: *stubs,
 		MeanStubProviders: *multihome, Tier2PeerProb: 0.35,
 		EnterpriseFrac: 0.35, ContentFrac: 0.05,
+	}
+	prof := cloud.AzureProfile()
+	if *scale != "" {
+		var sc experiments.Scale
+		switch *scale {
+		case "small":
+			sc = experiments.ScaleSmall
+		case "peering":
+			sc = experiments.ScalePEERING
+		case "azure":
+			sc = experiments.ScaleAzure
+		default:
+			log.Fatalf("unknown scale %q (want small, peering, or azure)", *scale)
+		}
+		var err error
+		cfg, prof, _, err = experiments.ScaleConfig(sc, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	g, err := topology.Generate(cfg)
 	if err != nil {
@@ -69,13 +91,13 @@ func main() {
 	}
 
 	if *dumpDeploy {
-		d, err := cloud.Build(g, 64500, cloud.AzureProfile())
+		d, err := cloud.Build(g, 64500, prof)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ds := d.Stats()
-		fmt.Printf("\ndeployment (azure profile): %d PoPs, %d peerings (%d transit), %.1f peers/PoP\n",
-			ds.PoPs, ds.Peerings, ds.Transit, ds.PeersPerPoPMean)
+		fmt.Printf("\ndeployment (%s profile): %d PoPs, %d peerings (%d transit), %.1f peers/PoP\n",
+			prof.Name, ds.PoPs, ds.Peerings, ds.Transit, ds.PeersPerPoPMean)
 		fmt.Println("PoPs:")
 		for _, p := range d.PoPs {
 			fmt.Printf("  %-4s peerings=%d\n", p.Metro, len(d.PeeringsAt(p.ID)))

@@ -310,13 +310,13 @@ func (c *Controller) dirtyPrefixes(touched, cameUp map[bgp.IngressID]bool, chang
 	if len(cameUp) > 0 {
 		cur := c.stateValues()
 		for up := range cameUp {
-			for _, i := range c.o.byIngress[up] {
+			for _, i := range c.o.statesFor(up) {
 				if c.dark[i] {
 					continue
 				}
 				st := c.o.states[i]
-				if est, ok := st.est[up]; ok && est < cur[i] {
-					suspect = append(suspect, i)
+				if est, ok := st.estOf(up); ok && est < cur[i] {
+					suspect = append(suspect, int(i))
 				}
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"painter/internal/advertise"
 	"painter/internal/bgp"
@@ -28,7 +29,14 @@ type Inputs struct {
 	UGs    *usergroup.Set
 
 	// Compliant returns the policy-compliant ingress set for a UG.
+	// Optional when CompliantIDs is set.
 	Compliant func(ug usergroup.UG) (map[bgp.IngressID]bool, error)
+	// CompliantIDs, when non-nil, is preferred over Compliant: it returns
+	// the policy-compliant ingress set as an ascending-sorted slice that
+	// the orchestrator treats as read-only and may share across UGs of
+	// the same AS (the flat-memory path; netsim's CompliantIngressIDs
+	// plugs in directly).
+	CompliantIDs func(ug usergroup.UG) ([]bgp.IngressID, error)
 	// EstLatencyMs returns the estimated latency from a UG through an
 	// ingress; ok=false when the measurement system has no target for
 	// the pair (coverage limits, Appendix B).
@@ -66,58 +74,165 @@ type TracedExecutor interface {
 // baseline strategies.
 type Config = advertise.Config
 
-// ugState is the orchestrator's working state for one UG.
+// ugState is the orchestrator's working state for one UG, laid out flat
+// for the Azure-scale solve: the compliant set is an ascending-sorted
+// slice (shared read-only across UGs of the same AS until the first
+// compliance correction copies it), latency estimates are rank-indexed
+// parallel to it, and PoP distances live in a per-metro row shared by
+// every UG in the metro and indexed by raw IngressID. At 10⁵ UGs this
+// replaces three maps per UG (~50 KB each) with ~12 bytes per compliant
+// ingress plus nothing for distances.
 type ugState struct {
-	ug        usergroup.UG
-	compliant map[bgp.IngressID]bool
-	// est holds per-ingress latency estimates; entries are replaced by
-	// measured values as advertisements reveal truth.
-	est map[bgp.IngressID]float64
-	// popDist caches distance (km) from the UG to each compliant
-	// ingress's PoP for the D_reuse exclusion.
-	popDist map[bgp.IngressID]float64
+	ug usergroup.UG
+	// compliant is the ascending-sorted policy-compliant ingress set.
+	compliant []bgp.IngressID
+	// ownsComp marks compliant (and est) as privately owned; false while
+	// the slice is shared, so the first learned compliance correction
+	// copies before inserting.
+	ownsComp bool
+	// est[r] is the latency estimate for compliant[r]; NaN when the
+	// measurement system has no coverage for the pair. Entries are
+	// replaced by measured values as advertisements reveal truth.
+	est []float64
+	// popDist[ing] is the distance (km) from the UG's metro to ingress
+	// ing's PoP, for the D_reuse exclusion. The row is shared by every
+	// UG in the metro and indexed by raw IngressID; it must only be
+	// indexed with deployment peering IDs.
+	popDist []float64
 	anycast float64
 	// beats[i][j] records the learned fact "this UG routes to i over j
-	// when both are available" (§3.1 preference learning).
+	// when both are available" (§3.1 preference learning). Lazily
+	// allocated: nil until the first fact.
 	beats map[bgp.IngressID]map[bgp.IngressID]bool
 }
 
-// newUGStates materializes orchestrator state from Inputs.
+// rank returns the index of ing in the sorted compliant set, or -1.
+func (st *ugState) rank(ing bgp.IngressID) int {
+	lo, hi := 0, len(st.compliant)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.compliant[mid] < ing {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(st.compliant) && st.compliant[lo] == ing {
+		return lo
+	}
+	return -1
+}
+
+// estOf returns the latency estimate for an ingress (ok=false when the
+// ingress is non-compliant or has no measurement coverage).
+func (st *ugState) estOf(ing bgp.IngressID) (float64, bool) {
+	r := st.rank(ing)
+	if r < 0 || math.IsNaN(st.est[r]) {
+		return 0, false
+	}
+	return st.est[r], true
+}
+
+// insertCompliant adds an observed-but-unmodeled ingress to the
+// compliant set (copy-on-write when the set is shared) and returns its
+// rank. The new estimate slot starts NaN.
+func (st *ugState) insertCompliant(ing bgp.IngressID) int {
+	pos := sort.Search(len(st.compliant), func(i int) bool { return st.compliant[i] >= ing })
+	nc := make([]bgp.IngressID, len(st.compliant)+1)
+	copy(nc, st.compliant[:pos])
+	nc[pos] = ing
+	copy(nc[pos+1:], st.compliant[pos:])
+	ne := make([]float64, len(st.est)+1)
+	copy(ne, st.est[:pos])
+	ne[pos] = math.NaN()
+	copy(ne[pos+1:], st.est[pos:])
+	st.compliant, st.est, st.ownsComp = nc, ne, true
+	return pos
+}
+
+// newUGStates materializes orchestrator state from Inputs. States are
+// independent, so they are built on the worker pool; the per-metro
+// PoP-distance rows are built once up front and shared.
 func newUGStates(in Inputs) ([]*ugState, error) {
-	if in.Deploy == nil || in.UGs == nil || in.Compliant == nil || in.EstLatencyMs == nil || in.AnycastMs == nil {
+	if in.Deploy == nil || in.UGs == nil || (in.Compliant == nil && in.CompliantIDs == nil) ||
+		in.EstLatencyMs == nil || in.AnycastMs == nil {
 		return nil, fmt.Errorf("core: incomplete Inputs")
 	}
-	states := make([]*ugState, 0, in.UGs.Len())
-	for _, ug := range in.UGs.UGs {
-		comp, err := in.Compliant(ug)
-		if err != nil {
-			return nil, fmt.Errorf("core: compliant(%d): %w", ug.ID, err)
+	rows, err := popDistRows(in.Deploy, in.UGs)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]*ugState, in.UGs.Len())
+	err = parallelFor(in.UGs.Len(), func(i int) error {
+		ug := in.UGs.UGs[i]
+		st := &ugState{ug: ug, popDist: rows[ug.Metro]}
+		if in.CompliantIDs != nil {
+			ids, err := in.CompliantIDs(ug)
+			if err != nil {
+				return fmt.Errorf("core: compliant(%d): %w", ug.ID, err)
+			}
+			st.compliant = ids // shared, read-only until first correction
+		} else {
+			comp, err := in.Compliant(ug)
+			if err != nil {
+				return fmt.Errorf("core: compliant(%d): %w", ug.ID, err)
+			}
+			st.compliant = make([]bgp.IngressID, 0, len(comp))
+			for ing := range comp {
+				st.compliant = append(st.compliant, ing)
+			}
+			sort.Slice(st.compliant, func(a, b int) bool { return st.compliant[a] < st.compliant[b] })
+			st.ownsComp = true
 		}
 		any, err := in.AnycastMs(ug)
 		if err != nil {
-			return nil, fmt.Errorf("core: anycast(%d): %w", ug.ID, err)
+			return fmt.Errorf("core: anycast(%d): %w", ug.ID, err)
 		}
-		st := &ugState{
-			ug:        ug,
-			compliant: comp,
-			est:       make(map[bgp.IngressID]float64, len(comp)),
-			popDist:   make(map[bgp.IngressID]float64, len(comp)),
-			anycast:   any,
-			beats:     make(map[bgp.IngressID]map[bgp.IngressID]bool),
-		}
-		for ing := range comp {
+		st.anycast = any
+		st.est = make([]float64, len(st.compliant))
+		for r, ing := range st.compliant {
 			if ms, ok := in.EstLatencyMs(ug, ing); ok {
-				st.est[ing] = ms
+				st.est[r] = ms
+			} else {
+				st.est[r] = math.NaN()
 			}
-			pop, err := in.Deploy.PoPOfPeering(ing)
+		}
+		states[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return states, nil
+}
+
+// popDistRows builds one distance row per metro present in the UG set:
+// row[ing] = km from the metro to ing's PoP, indexed by raw IngressID.
+func popDistRows(d *cloud.Deployment, ugs *usergroup.Set) (map[string][]float64, error) {
+	ids := d.AllPeeringIDs()
+	maxID := bgp.IngressID(-1)
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	rows := make(map[string][]float64)
+	for i := range ugs.UGs {
+		ug := &ugs.UGs[i]
+		if _, ok := rows[ug.Metro]; ok {
+			continue
+		}
+		row := make([]float64, maxID+1)
+		for _, id := range ids {
+			pop, err := d.PoPOfPeering(id)
 			if err != nil {
 				return nil, err
 			}
-			st.popDist[ing] = geo.DistanceKm(ug.Coord, pop.Coord)
+			row[id] = geo.DistanceKm(ug.Coord, pop.Coord)
 		}
-		states = append(states, st)
+		rows[ug.Metro] = row
 	}
-	return states, nil
+	return rows, nil
 }
 
 // Expectation is the modeled latency of a UG to one prefix: the Eq. (2)
@@ -132,8 +247,28 @@ type Expectation struct {
 // Usable reports whether the prefix is usable by the UG at all.
 func (e Expectation) Usable() bool { return e.N > 0 }
 
-// expect computes Eq. (2)'s inner expectation for one UG and one prefix
-// peering set. Filtering order follows §3.1:
+// exScratch holds the grow loop's reusable buffers: candidate ranks for
+// expectSc and the S+x composition slice for marginal probes. One per
+// worker (or from exPool for non-hot callers); never shared between
+// concurrent goroutines.
+type exScratch struct {
+	ranks []int32
+	sx    []bgp.IngressID
+}
+
+var exPool = sync.Pool{New: func() any { return new(exScratch) }}
+
+// expect is expectSc with pooled scratch — for callers off the grow hot
+// path (controller dirty-tracking, prediction, tests).
+func (st *ugState) expect(peerings []bgp.IngressID, reuseKm float64) Expectation {
+	sc := exPool.Get().(*exScratch)
+	e := st.expectSc(sc, peerings, reuseKm)
+	exPool.Put(sc)
+	return e
+}
+
+// expectSc computes Eq. (2)'s inner expectation for one UG and one
+// prefix peering set, allocation-free. Filtering order follows §3.1:
 //
 //  1. keep policy-compliant ingresses among the advertised peerings;
 //  2. drop ingresses dominated by a learned preference ("the UG routed
@@ -149,52 +284,57 @@ func (e Expectation) Usable() bool { return e.N > 0 }
 // far PoP — so excluded-by-distance ingresses still widen the
 // uncertainty band (the paper's Fig. 6c/15b uncertainty, which shrinks
 // as learning replaces assumptions with facts).
-func (st *ugState) expect(peerings []bgp.IngressID, reuseKm float64) Expectation {
-	var cand []bgp.IngressID
+func (st *ugState) expectSc(sc *exScratch, peerings []bgp.IngressID, reuseKm float64) Expectation {
+	ranks := sc.ranks[:0]
 	minDist := math.Inf(1)
 	for _, ing := range peerings {
-		if !st.compliant[ing] {
+		r := st.rank(ing)
+		if r < 0 {
 			continue
 		}
-		cand = append(cand, ing)
+		ranks = append(ranks, int32(r))
 		if d := st.popDist[ing]; d < minDist {
 			minDist = d
 		}
 	}
-	if len(cand) == 0 {
+	sc.ranks = ranks
+	if len(ranks) == 0 {
 		return Expectation{}
 	}
-	// Preference dominance: drop j if some other candidate i beats j.
-	kept := cand[:0]
-	for _, j := range cand {
-		dominated := false
-		for _, i := range cand {
-			if i != j && st.beats[i] != nil && st.beats[i][j] {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			kept = append(kept, j)
-		}
-	}
-	// Range over all non-dominated candidates; mean over those also
-	// passing the D_reuse assumption.
 	var sum float64
 	n := 0
 	e := Expectation{Min: math.Inf(1), Max: math.Inf(-1)}
-	for _, ing := range kept {
-		ms, ok := st.est[ing]
-		if !ok {
+	for _, rj := range ranks {
+		// Preference dominance: drop j if some other candidate i beats j.
+		if len(st.beats) > 0 {
+			j := st.compliant[rj]
+			dominated := false
+			for _, ri := range ranks {
+				if ri == rj {
+					continue
+				}
+				if bi := st.beats[st.compliant[ri]]; bi != nil && bi[j] {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+		}
+		ms := st.est[rj]
+		if math.IsNaN(ms) {
 			continue
 		}
+		// Range over all non-dominated candidates; mean over those also
+		// passing the D_reuse assumption.
 		if ms < e.Min {
 			e.Min = ms
 		}
 		if ms > e.Max {
 			e.Max = ms
 		}
-		if st.popDist[ing] <= minDist+reuseKm {
+		if st.popDist[st.compliant[rj]] <= minDist+reuseKm {
 			sum += ms
 			n++
 		}
@@ -213,18 +353,22 @@ func (st *ugState) expect(peerings []bgp.IngressID, reuseKm float64) Expectation
 // removed. It also replaces the latency estimate with ground truth.
 // Returns the number of new facts.
 func (st *ugState) learn(peerings []bgp.IngressID, chosen bgp.IngressID, measuredMs float64) int {
-	if !st.compliant[chosen] {
+	r := st.rank(chosen)
+	if r < 0 {
 		// Observation disagrees with the compliance model; record the
 		// ingress as compliant going forward (the model was wrong).
-		st.compliant[chosen] = true
+		r = st.insertCompliant(chosen)
 	}
-	st.est[chosen] = measuredMs
+	st.est[r] = measuredMs // est is always privately owned; only compliant can be shared
+	if st.beats == nil {
+		st.beats = make(map[bgp.IngressID]map[bgp.IngressID]bool)
+	}
 	if st.beats[chosen] == nil {
 		st.beats[chosen] = make(map[bgp.IngressID]bool)
 	}
 	facts := 0
 	for _, other := range peerings {
-		if other == chosen || !st.compliant[other] {
+		if other == chosen || st.rank(other) < 0 {
 			continue
 		}
 		if !st.beats[chosen][other] {
@@ -239,12 +383,8 @@ func (st *ugState) learn(peerings []bgp.IngressID, chosen bgp.IngressID, measure
 	return facts
 }
 
-// sortedCompliant returns the UG's compliant ingresses in ID order.
+// sortedCompliant returns the UG's compliant ingresses in ID order as a
+// fresh slice.
 func (st *ugState) sortedCompliant() []bgp.IngressID {
-	out := make([]bgp.IngressID, 0, len(st.compliant))
-	for ing := range st.compliant {
-		out = append(out, ing)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]bgp.IngressID(nil), st.compliant...)
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -33,6 +34,12 @@ type Params struct {
 	ExactGreedy bool
 	// MaxPeeringsPerPrefix caps reuse breadth per prefix (0 = no cap).
 	MaxPeeringsPerPrefix int
+	// Workers is the worker count for the sharded grow/freeze loops
+	// (0 = GOMAXPROCS, 1 = fully sequential). Any value produces
+	// byte-identical configurations: each per-candidate marginal is
+	// computed wholly by one worker over a fixed state order, so float
+	// summation order never depends on scheduling.
+	Workers int
 	// Obs, when non-nil, receives solve-loop metrics (iterations,
 	// prefixes placed, accepted marginal benefit, facts learned, wall
 	// times). Nil disables instrumentation at one-branch cost.
@@ -78,12 +85,47 @@ type Orchestrator struct {
 	states []*ugState
 	// byIngress is an inverted index: peering → indices of UGs for which
 	// that peering is policy-compliant (the sparsity that makes the
-	// computation fast, §4).
-	byIngress map[bgp.IngressID][]int
+	// computation fast, §4). Indexed by raw IngressID; rows are grown on
+	// demand when learning corrects the compliance model.
+	byIngress [][]int32
+	// stateIdx maps UG ID → index into states, built once so Learn and
+	// RealizedBenefit don't rebuild lookup maps per iteration.
+	stateIdx map[usergroup.ID]int32
 
 	m solveMetrics
 
 	reports []IterationReport
+}
+
+// statesFor returns the state indices for which ing is compliant
+// (shared; read-only). Out-of-range IDs yield nil.
+func (o *Orchestrator) statesFor(ing bgp.IngressID) []int32 {
+	if ing < 0 || int(ing) >= len(o.byIngress) {
+		return nil
+	}
+	return o.byIngress[ing]
+}
+
+// indexState appends state i to ing's inverted-index row, growing the
+// index when an observed ingress exceeds the deployment's ID range.
+func (o *Orchestrator) indexState(ing bgp.IngressID, i int32) {
+	if ing < 0 {
+		return
+	}
+	if int(ing) >= len(o.byIngress) {
+		grown := make([][]int32, int(ing)+1)
+		copy(grown, o.byIngress)
+		o.byIngress = grown
+	}
+	o.byIngress[ing] = append(o.byIngress[ing], i)
+}
+
+// workerCount resolves Params.Workers for the sharded loops.
+func (o *Orchestrator) workerCount() int {
+	if o.params.Workers > 0 {
+		return o.params.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // New builds an orchestrator.
@@ -102,11 +144,19 @@ func New(in Inputs, exec Executor, p Params) (*Orchestrator, error) {
 		return nil, err
 	}
 	o := &Orchestrator{in: in, exec: exec, params: p, states: states,
-		byIngress: make(map[bgp.IngressID][]int), m: newSolveMetrics(p.Obs)}
-	for i, st := range states {
-		for ing := range st.compliant {
-			o.byIngress[ing] = append(o.byIngress[ing], i)
+		stateIdx: make(map[usergroup.ID]int32, len(states)), m: newSolveMetrics(p.Obs)}
+	maxID := bgp.InvalidIngress
+	for _, st := range states {
+		if n := len(st.compliant); n > 0 && st.compliant[n-1] > maxID {
+			maxID = st.compliant[n-1]
 		}
+	}
+	o.byIngress = make([][]int32, maxID+1)
+	for i, st := range states {
+		for _, ing := range st.compliant {
+			o.byIngress[ing] = append(o.byIngress[ing], int32(i))
+		}
+		o.stateIdx[st.ug.ID] = int32(i)
 	}
 	return o, nil
 }
@@ -325,15 +375,35 @@ func (o *Orchestrator) candidatePeerings(live func(bgp.IngressID) bool) []bgp.In
 }
 
 // freezePrefix folds prefix S's contribution into bestFrozen, skipping
-// dark states.
+// dark states. The per-state updates are independent (index-disjoint
+// writes), so they run sharded.
 func (o *Orchestrator) freezePrefix(S []bgp.IngressID, bestFrozen []float64, dark []bool) {
-	for i, st := range o.states {
+	workers := o.workerCount()
+	scs := growScratches(workers)
+	defer putScratches(scs)
+	parallelWorkers(len(o.states), workers, func(w, i int) {
 		if dark != nil && dark[i] {
-			continue
+			return
 		}
-		if e := st.expect(S, o.params.ReuseKm); e.Usable() && e.Mean < bestFrozen[i] {
+		st := o.states[i]
+		if e := st.expectSc(scs[w], S, o.params.ReuseKm); e.Usable() && e.Mean < bestFrozen[i] {
 			bestFrozen[i] = e.Mean
 		}
+	})
+}
+
+// growScratches checks out one expectation scratch per worker.
+func growScratches(workers int) []*exScratch {
+	scs := make([]*exScratch, workers)
+	for w := range scs {
+		scs[w] = exPool.Get().(*exScratch)
+	}
+	return scs
+}
+
+func putScratches(scs []*exScratch) {
+	for _, sc := range scs {
+		exPool.Put(sc)
 	}
 }
 
@@ -344,6 +414,10 @@ func (o *Orchestrator) freezePrefix(S []bgp.IngressID, bestFrozen []float64, dar
 // mutate orchestrator state, so distinct calls with disjoint outputs may
 // run concurrently (the warm-start repair path does).
 func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []float64, dark []bool) []bgp.IngressID {
+	workers := o.workerCount()
+	scs := growScratches(workers)
+	defer putScratches(scs)
+
 	var S []bgp.IngressID
 	inS := make(map[bgp.IngressID]bool)
 	// curE[i] is Eq(2) for the growing prefix, +Inf when unusable.
@@ -352,15 +426,23 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 		curE[i] = math.Inf(1)
 	}
 
-	marginalOf := func(x bgp.IngressID) float64 {
+	// marginalOf evaluates one candidate wholly on one worker: the float
+	// sum over statesFor(x) runs in fixed index order regardless of how
+	// candidates are scheduled, so results are worker-count independent.
+	// The S+x probe set is composed in the worker's scratch to avoid the
+	// per-probe append allocation.
+	marginalOf := func(sc *exScratch, x bgp.IngressID) float64 {
+		sx := append(sc.sx[:0], S...)
+		sx = append(sx, x)
+		sc.sx = sx
 		var delta float64
-		for _, i := range o.byIngress[x] {
+		for _, i := range o.statesFor(x) {
 			if dark != nil && dark[i] {
 				continue
 			}
 			st := o.states[i]
 			oldVal := math.Min(bestFrozen[i], curE[i])
-			e := st.expect(append(S, x), o.params.ReuseKm)
+			e := st.expectSc(sc, sx, o.params.ReuseKm)
 			newE := math.Inf(1)
 			if e.Usable() {
 				newE = e.Mean
@@ -374,29 +456,39 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 	accept := func(x bgp.IngressID) {
 		S = append(S, x)
 		inS[x] = true
-		for _, i := range o.byIngress[x] {
+		idxs := o.statesFor(x)
+		parallelWorkers(len(idxs), workers, func(w, k int) {
+			i := idxs[k]
 			st := o.states[i]
-			if e := st.expect(S, o.params.ReuseKm); e.Usable() {
+			if e := st.expectSc(scs[w], S, o.params.ReuseKm); e.Usable() {
 				curE[i] = e.Mean
 			} else {
 				curE[i] = math.Inf(1)
 			}
-		}
+		})
 	}
 
+	margs := make([]float64, len(allPeerings))
 	if o.params.ExactGreedy {
 		for {
 			if o.params.MaxPeeringsPerPrefix > 0 && len(S) >= o.params.MaxPeeringsPerPrefix {
 				break
 			}
+			// Recompute every candidate sharded, then argmax sequentially
+			// in candidate order (ties keep the first, like a serial scan).
+			parallelWorkers(len(allPeerings), workers, func(w, k int) {
+				if x := allPeerings[k]; !inS[x] {
+					margs[k] = marginalOf(scs[w], x)
+				}
+			})
 			bestX := bgp.InvalidIngress
 			bestM := 0.0
-			for _, x := range allPeerings {
+			for k, x := range allPeerings {
 				if inS[x] {
 					continue
 				}
-				if m := marginalOf(x); m > bestM {
-					bestM, bestX = m, x
+				if margs[k] > bestM {
+					bestM, bestX = margs[k], x
 				}
 			}
 			if bestX == bgp.InvalidIngress {
@@ -409,10 +501,16 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 	}
 
 	// Lazy greedy: cache marginals, re-evaluate only the top candidate.
+	// The initial sweep — the bulk of the work — is sharded; results land
+	// in candidate order so the heap is built from the same sequence a
+	// serial sweep would produce.
 	version := 0
+	parallelWorkers(len(allPeerings), workers, func(w, k int) {
+		margs[k] = marginalOf(scs[w], allPeerings[k])
+	})
 	h := make(candHeap, 0, len(allPeerings))
-	for _, x := range allPeerings {
-		h = append(h, candItem{ing: x, marginal: marginalOf(x), version: version})
+	for k, x := range allPeerings {
+		h = append(h, candItem{ing: x, marginal: margs[k], version: version})
 	}
 	heap.Init(&h)
 	for h.Len() > 0 {
@@ -426,7 +524,7 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 		if top.version != version {
 			// Stale cached marginal: refresh and reinsert; the heap
 			// decides whether it is still the best candidate.
-			top.marginal = marginalOf(top.ing)
+			top.marginal = marginalOf(scs[0], top.ing)
 			top.version = version
 			heap.Push(&h, top)
 			continue
@@ -481,23 +579,18 @@ func (o *Orchestrator) PredictBenefit(cfg Config) (mean, lower, upper float64) {
 // preference facts and replacing estimates with measured latencies.
 // It returns the number of new facts.
 func (o *Orchestrator) Learn(cfg Config, obs []Observation) int {
-	byID := make(map[int]*ugState, len(o.states))
-	idx := make(map[int]int, len(o.states))
-	for i, st := range o.states {
-		byID[int(st.ug.ID)] = st
-		idx[int(st.ug.ID)] = i
-	}
 	facts := 0
 	for _, ob := range obs {
-		st := byID[int(ob.UG)]
-		if st == nil || ob.Prefix < 0 || ob.Prefix >= len(cfg.Prefixes) {
+		si, ok := o.stateIdx[ob.UG]
+		if !ok || ob.Prefix < 0 || ob.Prefix >= len(cfg.Prefixes) {
 			continue
 		}
+		st := o.states[si]
 		before := len(st.compliant)
 		facts += st.learn(cfg.Prefixes[ob.Prefix], ob.Ingress, ob.LatencyMs)
 		if len(st.compliant) != before {
 			// Compliance model corrected: refresh the inverted index.
-			o.byIngress[ob.Ingress] = append(o.byIngress[ob.Ingress], idx[int(ob.UG)])
+			o.indexState(ob.Ingress, si)
 		}
 	}
 	return facts
@@ -507,18 +600,18 @@ func (o *Orchestrator) Learn(cfg Config, obs []Observation) int {
 // achieved latency is the minimum over anycast and its observed prefix
 // latencies (the Traffic Manager steers per-flow to the best prefix).
 func (o *Orchestrator) RealizedBenefit(obs []Observation) float64 {
-	best := make(map[usergroup.ID]float64, len(o.states))
-	for _, st := range o.states {
-		best[st.ug.ID] = st.anycast
+	best := make([]float64, len(o.states))
+	for i, st := range o.states {
+		best[i] = st.anycast
 	}
 	for _, ob := range obs {
-		if cur, ok := best[ob.UG]; ok && ob.LatencyMs < cur {
-			best[ob.UG] = ob.LatencyMs
+		if si, ok := o.stateIdx[ob.UG]; ok && ob.LatencyMs < best[si] {
+			best[si] = ob.LatencyMs
 		}
 	}
 	var total float64
-	for _, st := range o.states {
-		total += st.ug.Weight * (st.anycast - best[st.ug.ID])
+	for i, st := range o.states {
+		total += st.ug.Weight * (st.anycast - best[i])
 	}
 	return total
 }

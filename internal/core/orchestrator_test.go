@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"painter/internal/advertise"
@@ -286,15 +287,49 @@ func TestParamValidation(t *testing.T) {
 	}
 }
 
-func TestExpectationFiltering(t *testing.T) {
-	// Hand-built ugState exercising Eq. (2) filters directly.
+// flatState builds a ugState from map-shaped inputs — the convenient
+// literal form for model tests, converted to the flat layout the solver
+// uses.
+func flatState(ug usergroup.UG, anycast float64,
+	est, popDist map[bgp.IngressID]float64) *ugState {
+
+	ids := make([]bgp.IngressID, 0, len(est))
+	maxID := bgp.IngressID(-1)
+	for ing := range est {
+		ids = append(ids, ing)
+		if ing > maxID {
+			maxID = ing
+		}
+	}
+	for ing := range popDist {
+		if ing > maxID {
+			maxID = ing
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	st := &ugState{
-		compliant: map[bgp.IngressID]bool{1: true, 2: true, 3: true},
-		est:       map[bgp.IngressID]float64{1: 10, 2: 30, 3: 100},
-		popDist:   map[bgp.IngressID]float64{1: 100, 2: 500, 3: 9000},
-		anycast:   50,
+		ug:        ug,
+		compliant: ids,
+		ownsComp:  true,
+		est:       make([]float64, len(ids)),
+		popDist:   make([]float64, maxID+1),
+		anycast:   anycast,
 		beats:     map[bgp.IngressID]map[bgp.IngressID]bool{},
 	}
+	for r, ing := range ids {
+		st.est[r] = est[ing]
+	}
+	for ing, d := range popDist {
+		st.popDist[ing] = d
+	}
+	return st
+}
+
+func TestExpectationFiltering(t *testing.T) {
+	// Hand-built ugState exercising Eq. (2) filters directly.
+	st := flatState(usergroup.UG{}, 50,
+		map[bgp.IngressID]float64{1: 10, 2: 30, 3: 100},
+		map[bgp.IngressID]float64{1: 100, 2: 500, 3: 9000})
 	// All three advertised, reuse 3000km: ingress 3 (9000km vs min 100km)
 	// is excluded from the mean by D_reuse but still widens the
 	// uncertainty range (the exclusion is an assumption, not a fact).
@@ -329,18 +364,15 @@ func TestExpectationFiltering(t *testing.T) {
 }
 
 func TestLearnUpdatesFactsAndEstimates(t *testing.T) {
-	st := &ugState{
-		compliant: map[bgp.IngressID]bool{1: true, 2: true, 3: true},
-		est:       map[bgp.IngressID]float64{1: 10, 2: 30, 3: 100},
-		popDist:   map[bgp.IngressID]float64{1: 1, 2: 1, 3: 1},
-		beats:     map[bgp.IngressID]map[bgp.IngressID]bool{},
-	}
+	st := flatState(usergroup.UG{}, 0,
+		map[bgp.IngressID]float64{1: 10, 2: 30, 3: 100},
+		map[bgp.IngressID]float64{1: 1, 2: 1, 3: 1})
 	n := st.learn([]bgp.IngressID{1, 2, 3}, 2, 25)
 	if n != 2 {
 		t.Errorf("learned %d facts, want 2 (2 beats 1, 2 beats 3)", n)
 	}
-	if st.est[2] != 25 {
-		t.Errorf("estimate not replaced by measurement: %v", st.est[2])
+	if ms, ok := st.estOf(2); !ok || ms != 25 {
+		t.Errorf("estimate not replaced by measurement: %v, %v", ms, ok)
 	}
 	// Repeat observation: no new facts.
 	if n := st.learn([]bgp.IngressID{1, 2, 3}, 2, 25); n != 0 {
@@ -358,17 +390,14 @@ func TestLearnUpdatesFactsAndEstimates(t *testing.T) {
 }
 
 func TestLearnCorrectsComplianceModel(t *testing.T) {
-	st := &ugState{
-		compliant: map[bgp.IngressID]bool{1: true},
-		est:       map[bgp.IngressID]float64{1: 10},
-		popDist:   map[bgp.IngressID]float64{1: 1},
-		beats:     map[bgp.IngressID]map[bgp.IngressID]bool{},
-	}
+	st := flatState(usergroup.UG{}, 0,
+		map[bgp.IngressID]float64{1: 10},
+		map[bgp.IngressID]float64{1: 1})
 	st.learn([]bgp.IngressID{1, 7}, 7, 42) // observed ingress we thought non-compliant
-	if !st.compliant[7] {
+	if st.rank(7) < 0 {
 		t.Error("observed ingress should be marked compliant")
 	}
-	if st.est[7] != 42 {
+	if ms, ok := st.estOf(7); !ok || ms != 42 {
 		t.Error("measured latency not recorded for corrected ingress")
 	}
 }
@@ -502,18 +531,15 @@ func TestSolveAllNaNBenefitReturnsError(t *testing.T) {
 // grown prefix must contain the lowest ID.
 func TestGrowPrefixTieBreaksByIngressID(t *testing.T) {
 	cands := []bgp.IngressID{5, 3, 9}
-	st := &ugState{
-		ug:        usergroup.UG{ID: 1, Weight: 1},
-		compliant: map[bgp.IngressID]bool{5: true, 3: true, 9: true},
-		est:       map[bgp.IngressID]float64{5: 10, 3: 10, 9: 10},
-		popDist:   map[bgp.IngressID]float64{5: 0, 3: 0, 9: 0},
-		anycast:   100,
-		beats:     map[bgp.IngressID]map[bgp.IngressID]bool{},
-	}
+	st := flatState(usergroup.UG{ID: 1, Weight: 1}, 100,
+		map[bgp.IngressID]float64{5: 10, 3: 10, 9: 10},
+		map[bgp.IngressID]float64{5: 0, 3: 0, 9: 0})
+	byIngress := make([][]int32, 10)
+	byIngress[3], byIngress[5], byIngress[9] = []int32{0}, []int32{0}, []int32{0}
 	o := &Orchestrator{
 		params:    Params{PrefixBudget: 1, ReuseKm: 3000},
 		states:    []*ugState{st},
-		byIngress: map[bgp.IngressID][]int{5: {0}, 3: {0}, 9: {0}},
+		byIngress: byIngress,
 	}
 	for run := 0; run < 5; run++ {
 		S := o.growPrefix(cands, []float64{st.anycast}, nil)

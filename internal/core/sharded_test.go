@@ -1,0 +1,67 @@
+package core
+
+// Determinism contract of the sharded grow loop: any worker count must
+// produce byte-identical solves. Each candidate's marginal is computed
+// wholly on one worker over the fixed statesFor order, and the argmax /
+// heap ordering is worker-independent, so the only difference between
+// Workers=1 and Workers=N is wall-clock.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func solveWithWorkers(t *testing.T, seed int64, workers int) (Config, []IterationReport) {
+	t.Helper()
+	b := newBench(t, seed)
+	p := DefaultParams(6)
+	p.Workers = workers
+	o, err := New(b.in, b.exec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, o.Reports()
+}
+
+func TestShardedSolveIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, seed := range []int64{41, 97} {
+		cfg1, rep1 := solveWithWorkers(t, seed, 1)
+		for _, workers := range []int{2, 4, 7} {
+			cfgN, repN := solveWithWorkers(t, seed, workers)
+			if !reflect.DeepEqual(cfg1, cfgN) {
+				t.Fatalf("seed %d: config with %d workers differs from sequential:\n%v\nvs\n%v",
+					seed, workers, cfg1, cfgN)
+			}
+			if !reflect.DeepEqual(rep1, repN) {
+				t.Fatalf("seed %d: iteration reports with %d workers differ from sequential",
+					seed, workers)
+			}
+		}
+	}
+}
+
+func TestShardedRepairIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) Config {
+		b := newBench(t, 61)
+		p := DefaultParams(6)
+		p.Workers = workers
+		o, err := New(b.in, b.exec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Solve(); err != nil {
+			t.Fatal(err)
+		}
+		return o.ComputeConfig()
+	}
+	seq := run(1)
+	for _, workers := range []int{3, 5} {
+		if got := run(workers); !reflect.DeepEqual(seq, got) {
+			t.Fatalf("ComputeConfig with %d workers differs from sequential", workers)
+		}
+	}
+}

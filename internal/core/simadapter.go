@@ -152,6 +152,11 @@ func SimInputs(w *netsim.World, ugs *usergroup.Set,
 		Compliant: func(ug usergroup.UG) (map[bgp.IngressID]bool, error) {
 			return w.PolicyCompliant(ug.ASN)
 		},
+		// Flat path: UGs of the same AS share the world's sorted compliant
+		// row directly, no per-UG map materialization.
+		CompliantIDs: func(ug usergroup.UG) ([]bgp.IngressID, error) {
+			return w.CompliantIngressIDs(ug.ASN)
+		},
 		EstLatencyMs: est,
 		AnycastMs: func(ug usergroup.UG) (float64, error) {
 			ms, ok := anyLat[ug.ID]

@@ -63,10 +63,15 @@ type Env struct {
 	Seed   int64
 }
 
-// NewEnv constructs an environment at the given scale with a seed.
-func NewEnv(scale Scale, seed int64) (*Env, error) {
+// ScaleConfig returns the canonical generation parameters for a scale:
+// topology generator config, cloud deployment profile, and UG build
+// config. Every consumer of a scale preset (NewEnv, cmd/topogen,
+// the scale bench) derives from this one function so sizes never drift.
+func ScaleConfig(scale Scale, seed int64) (topology.GenConfig, cloud.Profile, usergroup.Config, error) {
 	var gen topology.GenConfig
 	var prof cloud.Profile
+	ugCfg := usergroup.DefaultConfig()
+	ugCfg.Seed = seed + 3
 	switch scale {
 	case ScaleSmall:
 		gen = topology.GenConfig{Seed: seed, Tier1: 4, Tier2: 24, Stubs: 180,
@@ -78,12 +83,25 @@ func NewEnv(scale Scale, seed int64) (*Env, error) {
 		prof = cloud.PEERINGProfile()
 		prof.Seed = seed + 1
 	case ScaleAzure:
-		gen = topology.GenConfig{Seed: seed, Tier1: 12, Tier2: 110, Stubs: 1500,
+		// Azure scale targets the paper's simulated evaluation sizes:
+		// >=10^4 ASes and >=10^5 UGs (§5.1.1).
+		gen = topology.GenConfig{Seed: seed, Tier1: 16, Tier2: 240, Stubs: 11000,
 			MeanStubProviders: 2.4, Tier2PeerProb: 0.35, EnterpriseFrac: 0.35, ContentFrac: 0.05}
 		prof = cloud.AzureProfile()
 		prof.Seed = seed + 1
+		ugCfg.TargetUGs = 120_000
 	default:
-		return nil, fmt.Errorf("experiments: unknown scale %d", scale)
+		return topology.GenConfig{}, cloud.Profile{}, usergroup.Config{},
+			fmt.Errorf("experiments: unknown scale %d", scale)
+	}
+	return gen, prof, ugCfg, nil
+}
+
+// NewEnv constructs an environment at the given scale with a seed.
+func NewEnv(scale Scale, seed int64) (*Env, error) {
+	gen, prof, ugCfg, err := ScaleConfig(scale, seed)
+	if err != nil {
+		return nil, err
 	}
 
 	g, err := topology.Generate(gen)
@@ -98,8 +116,6 @@ func NewEnv(scale Scale, seed int64) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	ugCfg := usergroup.DefaultConfig()
-	ugCfg.Seed = seed + 3
 	allUGs, err := usergroup.Build(g, ugCfg)
 	if err != nil {
 		return nil, err

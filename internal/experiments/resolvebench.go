@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"painter/internal/benchmeta"
 	"painter/internal/core"
 	"painter/internal/netsim"
 	"painter/internal/stats"
@@ -36,8 +37,10 @@ type ResolveBenchConfig struct {
 }
 
 // ResolveBenchResult is the benchmark outcome; it marshals directly to
-// BENCH_RESOLVE.json.
+// BENCH_RESOLVE.json. Meta stays zero here (deterministic library code);
+// cmd/painter-bench stamps it just before writing.
 type ResolveBenchResult struct {
+	benchmeta.Meta
 	Scale    string `json:"scale"`
 	Seed     int64  `json:"seed"`
 	Peerings int    `json:"peerings"`

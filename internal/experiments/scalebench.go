@@ -1,0 +1,187 @@
+package experiments
+
+// Scale benchmark: builds each requested scale end-to-end (topology →
+// deployment → world → UGs → orchestrator inputs) and runs one full
+// advertise→measure→learn solve, recording wall-clock and memory per
+// scale. The azure row is the headline: >=10^4 ASes and >=10^5 UGs
+// through a complete solve, with the flat solver/netsim state keeping
+// retained bytes per UG flat as the population grows.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"painter/internal/benchmeta"
+	"painter/internal/core"
+)
+
+// ScaleBenchConfig parameterizes the scale sweep.
+type ScaleBenchConfig struct {
+	Seed   int64
+	Scales []Scale
+	// Workers is the solver worker count (0 = GOMAXPROCS).
+	Workers int
+	// Budget caps the prefix budget per scale (default min(8, peerings))
+	// so the sweep measures scaling of the grow loop, not budget size.
+	Budget int
+}
+
+// ScaleBenchRow is one scale's numbers.
+type ScaleBenchRow struct {
+	Scale    string `json:"scale"`
+	ASes     int    `json:"ases"`
+	Peerings int    `json:"peerings"`
+	PoPs     int    `json:"pops"`
+	UGs      int    `json:"ugs"`
+	Budget   int    `json:"budget"`
+	Prefixes int    `json:"prefixes"`
+
+	// BuildMs is environment construction (topology, deployment, world,
+	// UGs, anycast baseline); SolveMs is the full solve: orchestrator
+	// construction plus every advertise→measure→learn iteration.
+	BuildMs float64 `json:"build_ms"`
+	SolveMs float64 `json:"solve_ms"`
+
+	// BytesPerUG is the retained heap delta across the solve (post-GC)
+	// divided by UG count — the resident cost of solver + warmed
+	// simulator hot state per user group.
+	BytesPerUG float64 `json:"bytes_per_ug"`
+	// SolveMallocs counts heap allocations during the solve.
+	SolveMallocs uint64 `json:"solve_mallocs"`
+
+	PredictedBenefit float64 `json:"predicted_benefit"`
+}
+
+// ScaleBenchReport is the BENCH_SCALE.json schema.
+type ScaleBenchReport struct {
+	benchmeta.Meta
+	Seed    int64           `json:"seed"`
+	Workers int             `json:"workers"`
+	Rows    []ScaleBenchRow `json:"rows"`
+}
+
+// RunScaleBench runs the sweep. Each scale is built fresh so earlier
+// rows' caches cannot subsidize later ones.
+func RunScaleBench(cfg ScaleBenchConfig) (*ScaleBenchReport, error) {
+	if len(cfg.Scales) == 0 {
+		cfg.Scales = []Scale{ScaleSmall, ScalePEERING, ScaleAzure}
+	}
+	rep := &ScaleBenchReport{Seed: cfg.Seed, Workers: cfg.Workers}
+	for _, sc := range cfg.Scales {
+		row, err := runScaleOnce(sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scale bench %s: %w", sc, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func runScaleOnce(sc Scale, cfg ScaleBenchConfig) (ScaleBenchRow, error) {
+	t0 := time.Now()
+	env, err := NewEnv(sc, cfg.Seed)
+	if err != nil {
+		return ScaleBenchRow{}, err
+	}
+	buildMs := msSince(t0)
+
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = 8
+	}
+	if n := len(env.Deploy.AllPeeringIDs()); budget > n {
+		budget = n
+	}
+	params := core.DefaultParams(budget)
+	params.MaxPeeringsPerPrefix = 16
+	params.MaxIterations = 2
+	params.Workers = cfg.Workers
+
+	exec := core.NewWorldExecutor(env.World, env.UGs, 0, cfg.Seed+5)
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	t1 := time.Now()
+	o, err := core.New(env.Inputs, exec, params)
+	if err != nil {
+		return ScaleBenchRow{}, err
+	}
+	solved, err := o.Solve()
+	if err != nil {
+		return ScaleBenchRow{}, err
+	}
+	solveMs := msSince(t1)
+
+	runtime.ReadMemStats(&m1)
+	mallocs := m1.Mallocs - m0.Mallocs
+	var m2 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m2)
+	var retained float64
+	if m2.HeapAlloc > m0.HeapAlloc {
+		retained = float64(m2.HeapAlloc - m0.HeapAlloc)
+	}
+
+	mean, _, _ := o.PredictBenefit(solved)
+	row := ScaleBenchRow{
+		Scale:            sc.String(),
+		ASes:             env.Graph.Len(),
+		Peerings:         len(env.Deploy.AllPeeringIDs()),
+		PoPs:             len(env.Deploy.PoPs),
+		UGs:              env.UGs.Len(),
+		Budget:           budget,
+		Prefixes:         len(solved.Prefixes),
+		BuildMs:          buildMs,
+		SolveMs:          solveMs,
+		BytesPerUG:       retained / float64(env.UGs.Len()),
+		SolveMallocs:     mallocs,
+		PredictedBenefit: mean,
+	}
+	// Keep env alive past the post-solve GC so the retained-heap delta
+	// reflects solver + simulator state, not a partially collected env.
+	runtime.KeepAlive(env)
+	runtime.KeepAlive(o)
+	return row, nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Nanoseconds()) / 1e6
+}
+
+// Table renders the report for painter-bench.
+func (r *ScaleBenchReport) Table() Table {
+	t := Table{
+		Title:  fmt.Sprintf("scale sweep (seed %d, workers %d)", r.Seed, r.Workers),
+		Header: []string{"scale", "ases", "peerings", "pops", "ugs", "budget", "build ms", "solve ms", "bytes/ug", "mallocs"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scale,
+			fmt.Sprintf("%d", row.ASes),
+			fmt.Sprintf("%d", row.Peerings),
+			fmt.Sprintf("%d", row.PoPs),
+			fmt.Sprintf("%d", row.UGs),
+			fmt.Sprintf("%d", row.Budget),
+			fmt.Sprintf("%.0f", row.BuildMs),
+			fmt.Sprintf("%.0f", row.SolveMs),
+			fmt.Sprintf("%.0f", row.BytesPerUG),
+			fmt.Sprintf("%d", row.SolveMallocs),
+		})
+	}
+	return t
+}
+
+// WriteJSON writes the report to path as indented JSON.
+func (r *ScaleBenchReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

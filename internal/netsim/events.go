@@ -26,8 +26,8 @@ package netsim
 // internally locked.
 
 import (
-	"encoding/binary"
 	"fmt"
+	"math"
 
 	"painter/internal/bgp"
 	"painter/internal/cloud"
@@ -161,9 +161,10 @@ func (w *World) ApplyEvent(ev Event) error {
 			w.overlayMu.Unlock()
 			return fmt.Errorf("netsim: unknown peering %d", ev.Ingress)
 		}
-		if !w.peeringDown[ev.Ingress] {
+		if !w.peeringDownF[ev.Ingress] {
 			already := w.ingressDownLocked(ev.Ingress) // down via its PoP?
-			w.peeringDown[ev.Ingress] = true
+			w.peeringDownF[ev.Ingress] = true
+			w.peeringDownN++
 			if !already {
 				wentDown = append(wentDown, ev.Ingress)
 			}
@@ -173,8 +174,9 @@ func (w *World) ApplyEvent(ev Event) error {
 			w.overlayMu.Unlock()
 			return fmt.Errorf("netsim: unknown peering %d", ev.Ingress)
 		}
-		if w.peeringDown[ev.Ingress] {
-			delete(w.peeringDown, ev.Ingress)
+		if w.peeringDownF[ev.Ingress] {
+			w.peeringDownF[ev.Ingress] = false
+			w.peeringDownN--
 			if !w.ingressDownLocked(ev.Ingress) {
 				cameUp = append(cameUp, ev.Ingress)
 			}
@@ -184,21 +186,23 @@ func (w *World) ApplyEvent(ev Event) error {
 			w.overlayMu.Unlock()
 			return fmt.Errorf("netsim: unknown PoP %d", ev.PoP)
 		}
-		if !w.popDown[ev.PoP] {
+		if !w.popDownF[ev.PoP] {
 			for _, id := range w.Deploy.PeeringsAt(ev.PoP) {
 				if !w.ingressDownLocked(id) {
 					wentDown = append(wentDown, id)
 				}
 			}
-			w.popDown[ev.PoP] = true
+			w.popDownF[ev.PoP] = true
+			w.popDownN++
 		}
 	case EventPoPUp:
 		if w.Deploy.PoP(ev.PoP) == nil {
 			w.overlayMu.Unlock()
 			return fmt.Errorf("netsim: unknown PoP %d", ev.PoP)
 		}
-		if w.popDown[ev.PoP] {
-			delete(w.popDown, ev.PoP)
+		if w.popDownF[ev.PoP] {
+			w.popDownF[ev.PoP] = false
+			w.popDownN--
 			for _, id := range w.Deploy.PeeringsAt(ev.PoP) {
 				if !w.ingressDownLocked(id) {
 					cameUp = append(cameUp, id)
@@ -211,9 +215,9 @@ func (w *World) ApplyEvent(ev Event) error {
 			return fmt.Errorf("netsim: unknown peering %d", ev.Ingress)
 		}
 		if ev.Ms > 0 {
-			w.spikeMs[ev.Ingress] = ev.Ms
+			w.spikeMsF[ev.Ingress] = ev.Ms
 		} else {
-			delete(w.spikeMs, ev.Ingress)
+			w.spikeMsF[ev.Ingress] = 0
 		}
 	case EventProbeLoss:
 		if w.Deploy.Peering(ev.Ingress) == nil {
@@ -224,11 +228,10 @@ func (w *World) ApplyEvent(ev Event) error {
 		if pct > 100 {
 			pct = 100
 		}
-		if pct > 0 {
-			w.probeLoss[ev.Ingress] = pct
-		} else {
-			delete(w.probeLoss, ev.Ingress)
+		if pct < 0 {
+			pct = 0
 		}
+		w.probeLossF[ev.Ingress] = pct
 	case EventPrefFlip:
 		if w.Deploy.Peering(ev.Ingress) == nil {
 			w.overlayMu.Unlock()
@@ -245,8 +248,8 @@ func (w *World) ApplyEvent(ev Event) error {
 	}
 	w.eventSeq++
 	ev.Seq = w.eventSeq
-	w.obs.peeringsDown.Set(float64(len(w.peeringDown)))
-	w.obs.popsDown.Set(float64(len(w.popDown)))
+	w.obs.peeringsDown.Set(float64(w.peeringDownN))
+	w.obs.popsDown.Set(float64(w.popDownN))
 	w.overlayMu.Unlock()
 	w.obs.events[ev.Kind].Inc()
 
@@ -258,13 +261,15 @@ func (w *World) ApplyEvent(ev Event) error {
 		w.invalidateBestForUp(cameUp)
 	}
 	if ev.Kind == EventPrefFlip {
-		k := prefKey{as: ev.AS, ing: ev.Ingress}
-		w.prefMu.Lock()
-		if _, ok := w.prefCache[k]; ok {
-			delete(w.prefCache, k)
-			w.obs.prefInval.Inc()
+		if ai, ok := w.idx.ID(ev.AS); ok {
+			w.prefMu.Lock()
+			if row := w.prefRows[ai]; row != nil && !math.IsNaN(row[ev.Ingress]) {
+				row[ev.Ingress] = math.NaN()
+				w.prefCount--
+				w.obs.prefInval.Inc()
+			}
+			w.prefMu.Unlock()
 		}
-		w.prefMu.Unlock()
 		w.dropResolveContaining(ev.Ingress)
 	}
 
@@ -273,13 +278,12 @@ func (w *World) ApplyEvent(ev Event) error {
 }
 
 // ingressDownLocked reports down-state; caller holds overlayMu (read or
-// write).
+// write). Unknown ingresses are never down.
 func (w *World) ingressDownLocked(id bgp.IngressID) bool {
-	if w.peeringDown[id] {
-		return true
+	if !w.knownIngress(id) {
+		return false
 	}
-	pop, ok := w.popOf[id]
-	return ok && w.popDown[pop]
+	return w.peeringDownF[id] || w.popDownF[w.popOfIng[id]]
 }
 
 // IngressDown reports whether a peering is currently failed, directly or
@@ -293,18 +297,24 @@ func (w *World) IngressDown(id bgp.IngressID) bool {
 // LatencySpikeMs returns the transient latency spike on an ingress (0
 // when none).
 func (w *World) LatencySpikeMs(id bgp.IngressID) float64 {
+	if !w.knownIngress(id) {
+		return 0
+	}
 	w.overlayMu.RLock()
 	defer w.overlayMu.RUnlock()
-	return w.spikeMs[id]
+	return w.spikeMsF[id]
 }
 
 // ProbeLossPct returns the probe-loss percentage on an ingress (0 when
 // none) — consumed by the Traffic Manager substrate bridge, not by
 // route selection.
 func (w *World) ProbeLossPct(id bgp.IngressID) int {
+	if !w.knownIngress(id) {
+		return 0
+	}
 	w.overlayMu.RLock()
 	defer w.overlayMu.RUnlock()
-	return w.probeLoss[id]
+	return w.probeLossF[id]
 }
 
 // LiveIngresses returns the subset of ids that are not failed, in input
@@ -326,7 +336,7 @@ func (w *World) LiveIngresses(ids []bgp.IngressID) []bgp.IngressID {
 func (w *World) filterLive(sorted []bgp.IngressID) []bgp.IngressID {
 	w.overlayMu.RLock()
 	defer w.overlayMu.RUnlock()
-	if len(w.peeringDown) == 0 && len(w.popDown) == 0 {
+	if w.peeringDownN == 0 && w.popDownN == 0 {
 		return sorted
 	}
 	live := sorted[:0]
@@ -350,18 +360,25 @@ func (w *World) prefFlipCount(k prefKey) uint64 {
 // cached winner just failed; entries won by other ingresses are still
 // correct (removing a losing candidate cannot change a minimum).
 func (w *World) invalidateBestForDown(ids []bgp.IngressID) {
-	down := make(map[bgp.IngressID]bool, len(ids))
-	for _, id := range ids {
-		down[id] = true
-	}
+	dropped := 0
 	w.polMu.Lock()
-	for k, v := range w.bestIng {
-		if v.err == nil && down[v.ing] {
-			delete(w.bestIng, k)
-			w.obs.bestInval.Inc()
+	for _, row := range w.bestRows {
+		for m := range row {
+			v := &row[m]
+			if !v.set || v.err != nil {
+				continue
+			}
+			for _, id := range ids {
+				if v.ing == id {
+					*v = bestVal{}
+					dropped++
+					break
+				}
+			}
 		}
 	}
 	w.polMu.Unlock()
+	w.obs.bestInval.Add(uint64(dropped))
 }
 
 // invalidateBestForUp drops BestIngressLatency memo entries a recovered
@@ -369,34 +386,42 @@ func (w *World) invalidateBestForDown(ids []bgp.IngressID) {
 // AS and its base latency at least ties the cached best (or the entry
 // previously had no live compliant ingress at all).
 func (w *World) invalidateBestForUp(ids []bgp.IngressID) {
+	type slot struct {
+		ai int32
+		mo int32
+		v  bestVal
+	}
 	w.polMu.Lock()
-	keys := make([]bestKey, 0, len(w.bestIng))
-	vals := make([]bestVal, 0, len(w.bestIng))
-	for k, v := range w.bestIng {
-		keys = append(keys, k)
-		vals = append(vals, v)
+	var live []slot
+	for ai, row := range w.bestRows {
+		for m := range row {
+			if row[m].set {
+				live = append(live, slot{ai: int32(ai), mo: int32(m), v: row[m]})
+			}
+		}
 	}
 	w.polMu.Unlock()
 
-	var stale []bestKey
-	for i, k := range keys {
-		pc, err := w.policyCompliant(k.asn)
+	var stale []slot
+	for _, s := range live {
+		asn := w.idx.ASN(s.ai)
+		metro := w.metroCodes[s.mo]
+		pc, err := w.compliantRow(asn)
 		if err != nil {
-			stale = append(stale, k)
+			stale = append(stale, s)
 			continue
 		}
-		v := vals[i]
 		for _, id := range ids {
-			if !pc[id] {
+			if !containsIngress(pc, id) {
 				continue
 			}
-			if v.err != nil {
-				stale = append(stale, k)
+			if s.v.err != nil {
+				stale = append(stale, s)
 				break
 			}
-			b, err := w.BaseLatencyMs(k.asn, k.metro, id)
-			if err != nil || b < v.ms || (b == v.ms && id < v.ing) {
-				stale = append(stale, k)
+			b, err := w.BaseLatencyMs(asn, metro, id)
+			if err != nil || b < s.v.ms || (b == s.v.ms && id < s.v.ing) {
+				stale = append(stale, s)
 				break
 			}
 		}
@@ -405,8 +430,8 @@ func (w *World) invalidateBestForUp(ids []bgp.IngressID) {
 		return
 	}
 	w.polMu.Lock()
-	for _, k := range stale {
-		delete(w.bestIng, k)
+	for _, s := range stale {
+		w.bestRows[s.ai][s.mo] = bestVal{}
 	}
 	w.polMu.Unlock()
 	w.obs.bestInval.Add(uint64(len(stale)))
@@ -414,29 +439,27 @@ func (w *World) invalidateBestForUp(ids []bgp.IngressID) {
 
 // dropResolveContaining removes propagation-cache entries whose peering
 // set contains the given ingress — the only entries a preference flip
-// involving that ingress can affect.
+// involving that ingress can affect. Entries carry their exact sorted
+// sets, so containment is one binary search each.
 func (w *World) dropResolveContaining(id bgp.IngressID) {
+	dropped := 0
 	w.resolveMu.Lock()
-	for key := range w.resolveCache {
-		if resolveKeyContains(key, id) {
-			delete(w.resolveCache, key)
-			w.obs.resolveInval.Inc()
+	for h, bucket := range w.resolveCache {
+		kept := bucket[:0]
+		for _, e := range bucket {
+			if containsIngress(e.ids, id) {
+				dropped++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			delete(w.resolveCache, h)
+		} else {
+			w.resolveCache[h] = kept
 		}
 	}
+	w.resolveCount -= dropped
 	w.resolveMu.Unlock()
-}
-
-// resolveKeyContains decodes a propagation-cache key (day + sorted
-// peering ids, see resolveKey) and reports whether it contains id.
-func resolveKeyContains(key string, id bgp.IngressID) bool {
-	b := []byte(key)
-	if len(b) < 8 {
-		return false
-	}
-	for off := 8; off+4 <= len(b); off += 4 {
-		if bgp.IngressID(binary.LittleEndian.Uint32(b[off:])) == id {
-			return true
-		}
-	}
-	return false
+	w.obs.resolveInval.Add(uint64(dropped))
 }

@@ -323,10 +323,7 @@ func TestBestIngressMemoSurvivesIrrelevantFailure(t *testing.T) {
 	if err := w.ApplyEvent(Event{Kind: EventPeeringDown, Ingress: other}); err != nil {
 		t.Fatal(err)
 	}
-	w.polMu.Lock()
-	_, present := w.bestIng[bestKey{asn: asn, metro: metro}]
-	w.polMu.Unlock()
-	if !present {
+	if !w.bestCached(asn, metro) {
 		t.Error("memo entry dropped by a failure that cannot change it")
 	}
 	if err := w.ApplyEvent(Event{Kind: EventPeeringUp, Ingress: other}); err != nil {

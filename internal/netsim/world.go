@@ -17,16 +17,23 @@
 //     some (UG, ingress) pairs detour far beyond the great-circle
 //     distance, and transit providers inflate routes even over very
 //     large distances (§5.1.2 "Results").
+//
+// Hot state is laid out flat for Azure-scale worlds: per-ingress
+// attributes and the fault overlay are dense slices indexed by raw
+// IngressID, per-AS caches (hidden preferences, compliance, ancestors,
+// best-ingress memo) are rows indexed by the topology Index's dense AS
+// ordinal, and the propagation cache is keyed by a 64-bit hash of the
+// canonical peering set instead of a byte-string. Semantics — hit/miss
+// accounting, invalidation precision, determinism — are identical to
+// the old map-backed layout (pinned by the differential tests).
 package netsim
 
 import (
-	"encoding/binary"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 	"strconv"
 	"sync"
-
-	"math"
 
 	"painter/internal/bgp"
 	"painter/internal/cloud"
@@ -38,12 +45,12 @@ import (
 // World is an immutable-topology, time-evolving network simulator.
 //
 // Concurrency contract: all query methods (LatencyMs, BaseLatencyMs,
-// PathFailed, ResolveIngress, PolicyCompliant, BestIngressLatency,
-// TieBreaker and the tie-breaker it returns) are safe for concurrent
-// use. The state-changing methods SetDay, AdvanceTo, and ApplyEvent are
-// NOT: they must not run concurrently with any query (advance the clock
-// or apply events between query waves, as the Fig. 7 drift experiment
-// and the chaos engine do).
+// PathFailed, ResolveIngress, PolicyCompliant, CompliantIngressIDs,
+// BestIngressLatency, TieBreaker and the tie-breaker it returns) are
+// safe for concurrent use. The state-changing methods SetDay,
+// AdvanceTo, and ApplyEvent are NOT: they must not run concurrently
+// with any query (advance the clock or apply events between query
+// waves, as the Fig. 7 drift experiment and the chaos engine do).
 type World struct {
 	Graph  *topology.Graph
 	Deploy *cloud.Deployment
@@ -54,16 +61,33 @@ type World struct {
 	// Tunables (set before first use; zero values replaced by defaults).
 	cfg Config
 
-	// popCoord caches the coordinate of each peering's PoP.
-	popCoord map[bgp.IngressID]geo.Coord
-	// peerASNOf caches each peering's neighbor AS.
-	peerASNOf map[bgp.IngressID]topology.ASN
-	// transit caches whether each peering is via a transit provider.
-	transit map[bgp.IngressID]bool
+	// idx assigns every AS a dense ordinal; all per-AS cache rows below
+	// are indexed by it.
+	idx *topology.Index
+	// nIng is max deployment IngressID + 1: the length of every
+	// per-ingress slice.
+	nIng int
 
-	// asHome is each AS's primary location (first metro), used for the
-	// hot-potato bias in route tie-breaking.
-	asHome map[topology.ASN]geo.Coord
+	// Per-ingress attributes, indexed by raw IngressID. ingValid marks
+	// IDs that exist in the deployment (IDs are dense in practice, but
+	// nothing here assumes it).
+	ingValid   []bool
+	popCoordOf []geo.Coord
+	peerASNOf  []topology.ASN
+	transitOf  []bool
+	// popOfIng maps each peering to its PoP for outage checks.
+	popOfIng []cloud.PoPID
+
+	// asHomeOf is each AS's primary location (first metro), used for the
+	// hot-potato bias in route tie-breaking; asHomeOK marks ASes that
+	// have one. Indexed by dense AS ordinal.
+	asHomeOf []geo.Coord
+	asHomeOK []bool
+
+	// metroOrd/metroCodes give every catalog metro a dense ordinal for
+	// the best-ingress memo rows.
+	metroOrd   map[string]int32
+	metroCodes []string
 
 	// obs holds the world's metrics registry and handles (see obs.go);
 	// cache counters replace the old ad-hoc stat fields and surface
@@ -71,41 +95,50 @@ type World struct {
 	obs worldObs
 
 	// resolveMu guards the propagation cache: ResolveIngress results
-	// keyed by the canonical (sorted) peering set plus the world day.
-	// SetDay/AdvanceTo drop the cache wholesale.
+	// bucketed by a hash of the canonical (sorted, live) peering set
+	// plus the world day; each entry carries the exact set for
+	// verification. SetDay/AdvanceTo drop the cache wholesale.
 	resolveMu    sync.Mutex
-	resolveCache map[string]*resolveEntry
+	resolveCache map[uint64][]*resolveEntry
+	resolveCount int
 
 	// prefMu guards the hidden-preference cache: prefScore is pure per
 	// (AS, ingress, day) and called for every tie-break candidate, so
 	// memoizing it takes the geographic math off the propagation hot
-	// path. SetDay/AdvanceTo drop it alongside the propagation cache.
+	// path. Rows are lazily allocated per dense AS ordinal with NaN as
+	// the absent sentinel. SetDay/AdvanceTo drop it alongside the
+	// propagation cache.
 	prefMu    sync.RWMutex
-	prefCache map[prefKey]float64
+	prefRows  [][]float64
+	prefCount int
 
-	// polMu guards the structural (day-independent) caches below.
+	// polMu guards the structural (day-independent) cache rows below,
+	// all indexed by dense AS ordinal with nil = not yet computed.
 	polMu sync.Mutex
-	// ancestors[n] is n plus its transitive providers, for fast
-	// policy-compliance checks.
-	ancestors map[topology.ASN]map[topology.ASN]bool
-	// policy memoizes PolicyCompliant per ASN (shared maps; the public
-	// accessor returns copies).
-	policy map[topology.ASN]map[bgp.IngressID]bool
-	// bestIng memoizes BestIngressLatency per (ASN, metro).
-	bestIng map[bestKey]bestVal
+	// ancRows[i] is i plus its transitive providers as sorted dense
+	// ordinals, for fast policy-compliance checks.
+	ancRows [][]int32
+	// polRows[i] is the sorted compliant ingress set of AS i (shared;
+	// the public map accessor returns copies, CompliantIngressIDs
+	// returns the row itself read-only).
+	polRows [][]bgp.IngressID
+	// bestRows[i][m] memoizes BestIngressLatency per (AS, metro ordinal).
+	bestRows [][]bestVal
 
 	// overlayMu guards the dynamic fault overlay (see events.go):
 	// failed peerings and PoPs, latency spikes, probe loss, and
-	// hidden-preference flips applied via ApplyEvent.
-	overlayMu   sync.RWMutex
-	peeringDown map[bgp.IngressID]bool
-	popDown     map[cloud.PoPID]bool
-	spikeMs     map[bgp.IngressID]float64
-	probeLoss   map[bgp.IngressID]int
-	prefFlips   map[prefKey]uint64
-	eventSeq    uint64
-	// popOf maps each peering to its PoP for outage checks.
-	popOf map[bgp.IngressID]cloud.PoPID
+	// hidden-preference flips applied via ApplyEvent. All per-ingress
+	// overlay state is dense slices; the counts make the "overlay clean"
+	// fast path a two-int check.
+	overlayMu    sync.RWMutex
+	peeringDownF []bool
+	peeringDownN int
+	popDownF     []bool
+	popDownN     int
+	spikeMsF     []float64
+	probeLossF   []int
+	prefFlips    map[prefKey]uint64
+	eventSeq     uint64
 
 	// subMu guards the event subscriber list.
 	subMu   sync.Mutex
@@ -113,10 +146,14 @@ type World struct {
 	subNext int
 }
 
-// resolveEntry is one propagation-cache slot. The sync.Once lets
-// concurrent first callers of the same key share a single Propagate run
-// without holding resolveMu for its duration.
+// resolveEntry is one propagation-cache slot: the canonical peering set
+// and day it was keyed under (for bucket verification and precise
+// pref-flip invalidation), plus the memoized selection. The sync.Once
+// lets concurrent first callers of the same key share a single
+// Propagate run without holding resolveMu for its duration.
 type resolveEntry struct {
+	day  int
+	ids  []bgp.IngressID // sorted, owned by the entry
 	once sync.Once
 	sel  map[topology.ASN]bgp.Route
 	err  error
@@ -127,15 +164,11 @@ type prefKey struct {
 	ing bgp.IngressID
 }
 
-type bestKey struct {
-	asn   topology.ASN
-	metro string
-}
-
 type bestVal struct {
 	ms  float64
 	ing bgp.IngressID
 	err error
+	set bool
 }
 
 // Config tunes the synthetic network behaviour.
@@ -199,50 +232,79 @@ func NewWithConfig(g *topology.Graph, d *cloud.Deployment, seed int64, cfg Confi
 	if g == nil || d == nil {
 		return nil, fmt.Errorf("netsim: nil graph or deployment")
 	}
+	nIng := 0
+	nPoP := 0
+	for _, pr := range d.Peerings {
+		if int(pr.ID)+1 > nIng {
+			nIng = int(pr.ID) + 1
+		}
+		if int(pr.PoP)+1 > nPoP {
+			nPoP = int(pr.PoP) + 1
+		}
+	}
+	idx := g.Index()
 	w := &World{
-		Graph:     g,
-		Deploy:    d,
-		seed:      uint64(seed),
-		cfg:       cfg,
-		obs:       newWorldObs(),
-		popCoord:  make(map[bgp.IngressID]geo.Coord, len(d.Peerings)),
-		peerASNOf: make(map[bgp.IngressID]topology.ASN, len(d.Peerings)),
-		transit:   make(map[bgp.IngressID]bool, len(d.Peerings)),
-		ancestors: make(map[topology.ASN]map[topology.ASN]bool),
+		Graph:  g,
+		Deploy: d,
+		seed:   uint64(seed),
+		cfg:    cfg,
+		obs:    newWorldObs(),
+		idx:    idx,
+		nIng:   nIng,
 
-		resolveCache: make(map[string]*resolveEntry),
-		prefCache:    make(map[prefKey]float64),
-		policy:       make(map[topology.ASN]map[bgp.IngressID]bool),
-		bestIng:      make(map[bestKey]bestVal),
+		ingValid:   make([]bool, nIng),
+		popCoordOf: make([]geo.Coord, nIng),
+		peerASNOf:  make([]topology.ASN, nIng),
+		transitOf:  make([]bool, nIng),
+		popOfIng:   make([]cloud.PoPID, nIng),
 
-		peeringDown: make(map[bgp.IngressID]bool),
-		popDown:     make(map[cloud.PoPID]bool),
-		spikeMs:     make(map[bgp.IngressID]float64),
-		probeLoss:   make(map[bgp.IngressID]int),
-		prefFlips:   make(map[prefKey]uint64),
-		popOf:       make(map[bgp.IngressID]cloud.PoPID, len(d.Peerings)),
+		asHomeOf: make([]geo.Coord, idx.Len()),
+		asHomeOK: make([]bool, idx.Len()),
+
+		resolveCache: make(map[uint64][]*resolveEntry),
+		prefRows:     make([][]float64, idx.Len()),
+		ancRows:      make([][]int32, idx.Len()),
+		polRows:      make([][]bgp.IngressID, idx.Len()),
+		bestRows:     make([][]bestVal, idx.Len()),
+
+		peeringDownF: make([]bool, nIng),
+		popDownF:     make([]bool, nPoP),
+		spikeMsF:     make([]float64, nIng),
+		probeLossF:   make([]int, nIng),
+		prefFlips:    make(map[prefKey]uint64),
 	}
 	for _, pr := range d.Peerings {
 		pop := d.PoP(pr.PoP)
 		if pop == nil {
 			return nil, fmt.Errorf("netsim: peering %d has no PoP", pr.ID)
 		}
-		w.popCoord[pr.ID] = pop.Coord
+		if pr.ID < 0 {
+			return nil, fmt.Errorf("netsim: negative peering ID %d", pr.ID)
+		}
+		w.ingValid[pr.ID] = true
+		w.popCoordOf[pr.ID] = pop.Coord
 		w.peerASNOf[pr.ID] = pr.PeerASN
-		w.transit[pr.ID] = pr.IsTransit()
-		w.popOf[pr.ID] = pr.PoP
+		w.transitOf[pr.ID] = pr.IsTransit()
+		w.popOfIng[pr.ID] = pr.PoP
 		if !g.Has(pr.PeerASN) {
 			return nil, fmt.Errorf("netsim: peering %d neighbor %v not in topology", pr.ID, pr.PeerASN)
 		}
 	}
-	w.asHome = make(map[topology.ASN]geo.Coord, g.Len())
-	for _, n := range g.ASNs() {
-		a := g.AS(n)
+	for i := 0; i < idx.Len(); i++ {
+		a := g.AS(idx.ASN(int32(i)))
 		if len(a.Metros) > 0 {
 			if m, err := geo.MetroByCode(a.Metros[0]); err == nil {
-				w.asHome[n] = m.Coord
+				w.asHomeOf[i] = m.Coord
+				w.asHomeOK[i] = true
 			}
 		}
+	}
+	metros := geo.Metros()
+	w.metroOrd = make(map[string]int32, len(metros))
+	w.metroCodes = make([]string, len(metros))
+	for i, m := range metros {
+		w.metroOrd[m.Code] = int32(i)
+		w.metroCodes[i] = m.Code
 	}
 	return w, nil
 }
@@ -260,12 +322,16 @@ func (w *World) SetDay(d int) {
 	w.day = d
 	w.obs.day.Set(float64(d))
 	w.resolveMu.Lock()
-	w.obs.resolveInval.Add(uint64(len(w.resolveCache)))
-	w.resolveCache = make(map[string]*resolveEntry)
+	w.obs.resolveInval.Add(uint64(w.resolveCount))
+	w.resolveCache = make(map[uint64][]*resolveEntry)
+	w.resolveCount = 0
 	w.resolveMu.Unlock()
 	w.prefMu.Lock()
-	w.obs.prefInval.Add(uint64(len(w.prefCache)))
-	w.prefCache = make(map[prefKey]float64)
+	w.obs.prefInval.Add(uint64(w.prefCount))
+	for i := range w.prefRows {
+		w.prefRows[i] = nil
+	}
+	w.prefCount = 0
 	w.prefMu.Unlock()
 }
 
@@ -334,12 +400,17 @@ func (w *World) LatencyMs(asn topology.ASN, metro string, ing bgp.IngressID) (fl
 	return base + w.dayAdjustMs(asn, metro, ing) + w.LatencySpikeMs(ing), nil
 }
 
+// knownIngress reports whether ing is a deployment peering.
+func (w *World) knownIngress(ing bgp.IngressID) bool {
+	return ing >= 0 && int(ing) < w.nIng && w.ingValid[ing]
+}
+
 // BaseLatencyMs is the steady-state (day-independent) latency.
 func (w *World) BaseLatencyMs(asn topology.ASN, metro string, ing bgp.IngressID) (float64, error) {
-	pc, ok := w.popCoord[ing]
-	if !ok {
+	if !w.knownIngress(ing) {
 		return 0, fmt.Errorf("netsim: unknown ingress %d", ing)
 	}
+	pc := w.popCoordOf[ing]
 	m, err := geo.MetroByCode(metro)
 	if err != nil {
 		return 0, err
@@ -362,7 +433,7 @@ func (w *World) BaseLatencyMs(asn topology.ASN, metro string, ing bgp.IngressID)
 	// Persistent detour: more likely via transit providers over long
 	// distances.
 	p := w.cfg.DetourProb
-	if w.transit[ing] && distKm > 2000 {
+	if w.transitOf[ing] && distKm > 2000 {
 		p = w.cfg.TransitDetourProb
 	}
 	if unit(w.h64(domDetourP, ugKey, ik)) < p {
@@ -415,25 +486,15 @@ func metroKey(metro string) uint64 {
 // the orchestrator; a fraction of ASes additionally hold strong
 // overriding preferences for specific ingresses.
 //
-// Each returned closure carries a private lock-free score memo in front
-// of the world-level cache, so it is NOT safe for concurrent use: obtain
-// a separate TieBreaker per goroutine. (World's own query methods do.)
+// The returned closure reads the world-level flat preference rows
+// directly and is safe for concurrent use (the old per-closure memo, and
+// its per-goroutine restriction, are gone).
 func (w *World) TieBreaker() bgp.TieBreaker {
-	local := make(map[prefKey]float64)
-	score := func(as topology.ASN, ing bgp.IngressID) float64 {
-		k := prefKey{as: as, ing: ing}
-		if s, ok := local[k]; ok {
-			return s
-		}
-		s := w.prefScore(as, ing)
-		local[k] = s
-		return s
-	}
 	return func(as topology.ASN, cands []bgp.Route) int {
 		best := 0
-		bestScore := score(as, cands[0].Ingress)
+		bestScore := w.prefScore(as, cands[0].Ingress)
 		for i := 1; i < len(cands); i++ {
-			if s := score(as, cands[i].Ingress); s < bestScore {
+			if s := w.prefScore(as, cands[i].Ingress); s < bestScore {
 				best, bestScore = i, s
 			}
 		}
@@ -444,25 +505,50 @@ func (w *World) TieBreaker() bgp.TieBreaker {
 // prefScore memoizes prefScoreUncached per (AS, ingress): the score is
 // deterministic for a given day, and tie-breaking evaluates it for every
 // candidate at every AS, so the cache removes repeated geographic math
-// from the propagation hot path. SetDay/AdvanceTo reset it.
+// from the propagation hot path. Rows live per dense AS ordinal with NaN
+// marking absent slots (scores themselves are always finite).
+// SetDay/AdvanceTo reset it.
 func (w *World) prefScore(as topology.ASN, ing bgp.IngressID) float64 {
-	k := prefKey{as: as, ing: ing}
-	w.prefMu.RLock()
-	s, ok := w.prefCache[k]
-	w.prefMu.RUnlock()
-	if ok {
-		w.obs.prefHits.Inc()
-		return s
+	ai, known := w.idx.ID(as)
+	cacheable := known && ing >= 0 && int(ing) < w.nIng
+	if cacheable {
+		w.prefMu.RLock()
+		var s float64 = math.NaN()
+		if row := w.prefRows[ai]; row != nil {
+			s = row[ing]
+		}
+		w.prefMu.RUnlock()
+		if !math.IsNaN(s) {
+			w.obs.prefHits.Inc()
+			return s
+		}
 	}
 	w.obs.prefMiss.Inc()
-	s = w.prefScoreUncached(as, ing)
-	w.prefMu.Lock()
-	if w.prefCache == nil {
-		w.prefCache = make(map[prefKey]float64)
+	s := w.prefScoreUncached(as, ing)
+	if cacheable {
+		w.prefMu.Lock()
+		row := w.prefRows[ai]
+		if row == nil {
+			row = nanRow(w.nIng)
+			w.prefRows[ai] = row
+		}
+		if math.IsNaN(row[ing]) {
+			w.prefCount++
+		}
+		row[ing] = s
+		w.prefMu.Unlock()
 	}
-	w.prefCache[k] = s
-	w.prefMu.Unlock()
 	return s
+}
+
+// nanRow allocates a preference row with every slot absent.
+func nanRow(n int) []float64 {
+	row := make([]float64, n)
+	nan := math.NaN()
+	for i := range row {
+		row[i] = nan
+	}
+	return row
 }
 
 // prefScoreUncached is the hidden preference (lower is preferred). Real ASes
@@ -475,8 +561,8 @@ func (w *World) prefScore(as topology.ASN, ing bgp.IngressID) float64 {
 func (w *World) prefScoreUncached(as topology.ASN, ing bgp.IngressID) float64 {
 	noise := unit(w.h64(domPref, uint64(as), uint64(ing)))
 	s := noise
-	if home, ok := w.asHome[as]; ok {
-		distNorm := geo.DistanceKm(home, w.popCoord[ing]) / 20000 // 0..~1
+	if ai, ok := w.idx.ID(as); ok && w.asHomeOK[ai] && w.knownIngress(ing) {
+		distNorm := geo.DistanceKm(w.asHomeOf[ai], w.popCoordOf[ing]) / 20000 // 0..~1
 		s = 0.75*distNorm + 0.25*noise
 	}
 	// A strong override pulls the score near zero, making this ingress
@@ -508,7 +594,7 @@ func (w *World) prefScoreUncached(as topology.ASN, ing bgp.IngressID) float64 {
 // route are absent from the map.
 //
 // Results are memoized per (canonical peering set, world day): the
-// peering slice is sorted into a canonical key, so permuted-but-equal
+// peering slice is sorted into a canonical form, so permuted-but-equal
 // slices hit the same cache entry. SetDay/AdvanceTo invalidate the
 // cache. The returned map is shared with the cache — callers must treat
 // it as read-only.
@@ -530,12 +616,19 @@ func (w *World) ResolveIngressTraced(peerings []bgp.IngressID, parent *span.Span
 	return w.resolveIngress(peerings, parent)
 }
 
+// sortBuf is the pooled scratch for canonicalizing a resolve's peering
+// set without allocating per call.
+type sortBuf struct{ ids []bgp.IngressID }
+
+var sortBufPool = sync.Pool{New: func() any { return new(sortBuf) }}
+
 func (w *World) resolveIngress(peerings []bgp.IngressID, parent *span.Span) (map[topology.ASN]bgp.Route, error) {
-	sorted := make([]bgp.IngressID, len(peerings))
-	copy(sorted, peerings)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buf := sortBufPool.Get().(*sortBuf)
+	sorted := append(buf.ids[:0], peerings...)
+	slices.Sort(sorted)
 	sorted = w.filterLive(sorted)
-	key := resolveKey(w.day, sorted)
+	buf.ids = sorted[:0]
+	h := resolveHash(w.day, sorted)
 
 	// Span construction (attr formatting included) is guarded so the
 	// untraced hot path pays exactly one nil check.
@@ -548,18 +641,27 @@ func (w *World) resolveIngress(peerings []bgp.IngressID, parent *span.Span) (map
 
 	w.resolveMu.Lock()
 	if w.resolveCache == nil {
-		w.resolveCache = make(map[string]*resolveEntry)
+		w.resolveCache = make(map[uint64][]*resolveEntry)
 	}
-	e, ok := w.resolveCache[key]
-	if ok {
+	var e *resolveEntry
+	for _, cand := range w.resolveCache[h] {
+		if cand.day == w.day && slices.Equal(cand.ids, sorted) {
+			e = cand
+			break
+		}
+	}
+	hit := e != nil
+	if hit {
 		w.obs.resolveHits.Inc()
 	} else {
 		w.obs.resolveMiss.Inc()
-		e = &resolveEntry{}
-		w.resolveCache[key] = e
+		e = &resolveEntry{day: w.day, ids: slices.Clone(sorted)}
+		w.resolveCache[h] = append(w.resolveCache[h], e)
+		w.resolveCount++
 	}
 	w.resolveMu.Unlock()
-	if ok {
+	sortBufPool.Put(buf)
+	if hit {
 		s.SetAttr("cache", "hit")
 	} else {
 		s.SetAttr("cache", "miss")
@@ -569,7 +671,7 @@ func (w *World) resolveIngress(peerings []bgp.IngressID, parent *span.Span) (map
 	// sorted before tie-breaking), so resolving from the canonical slice
 	// is equivalent to resolving from the caller's order.
 	e.once.Do(func() {
-		inj, err := w.Deploy.Injections(sorted)
+		inj, err := w.Deploy.Injections(e.ids)
 		if err != nil {
 			e.err = err
 			return
@@ -585,45 +687,53 @@ func (w *World) resolveIngress(peerings []bgp.IngressID, parent *span.Span) (map
 	return e.sel, e.err
 }
 
-// resolveKey builds the canonical propagation-cache key: the world day
-// followed by the sorted peering IDs, byte-encoded.
-func resolveKey(day int, sorted []bgp.IngressID) string {
-	b := make([]byte, 8+4*len(sorted))
-	binary.LittleEndian.PutUint64(b, uint64(int64(day)))
-	for i, id := range sorted {
-		binary.LittleEndian.PutUint32(b[8+4*i:], uint32(id))
+// resolveHash hashes (day, sorted peering set) into the propagation
+// cache's bucket key; entries verify the exact set, so collisions cost a
+// comparison, never a wrong answer.
+func resolveHash(day int, sorted []bgp.IngressID) uint64 {
+	h := mix64(uint64(int64(day)) ^ 0x9e3779b97f4a7c15)
+	for _, id := range sorted {
+		h = mix64(h ^ mix64(uint64(uint32(id))+0x9e3779b97f4a7c15))
 	}
-	return string(b)
+	return h
 }
 
 // --- Policy compliance --------------------------------------------------------
 
-// ancestorsOf returns n plus its transitive providers (cached under
-// polMu; the returned set is shared and must not be modified).
-func (w *World) ancestorsOf(n topology.ASN) map[topology.ASN]bool {
+// ancRow returns dense ordinal i plus its transitive providers as a
+// sorted row of dense ordinals (cached; shared, read-only).
+func (w *World) ancRow(i int32) []int32 {
 	w.polMu.Lock()
-	if a, ok := w.ancestors[n]; ok {
+	if r := w.ancRows[i]; r != nil {
 		w.polMu.Unlock()
-		return a
+		return r
 	}
 	w.polMu.Unlock()
-	set := map[topology.ASN]bool{n: true}
-	stack := []topology.ASN{n}
+	seen := make([]bool, w.idx.Len())
+	seen[i] = true
+	row := []int32{i}
+	stack := []int32{i}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range w.Graph.AS(cur).Providers {
-			if !set[p] {
-				set[p] = true
+		for _, p := range w.idx.Providers(cur) {
+			if !seen[p] {
+				seen[p] = true
+				row = append(row, p)
 				stack = append(stack, p)
 			}
 		}
 	}
+	slices.Sort(row)
 	w.polMu.Lock()
-	w.ancestors[n] = set
+	w.ancRows[i] = row
 	w.polMu.Unlock()
-	return set
+	return row
 }
+
+// emptyCompliantRow is the computed-but-empty sentinel for polRows (nil
+// means "not computed yet").
+var emptyCompliantRow = []bgp.IngressID{}
 
 // PolicyCompliant returns the set of deployment peerings through which
 // the given AS has any policy-compliant (valley-free) path to the cloud.
@@ -632,67 +742,88 @@ func (w *World) ancestorsOf(n topology.ASN) map[topology.ASN]bool {
 // topology and deployment are immutable); the returned map is a fresh
 // copy the caller may modify.
 func (w *World) PolicyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error) {
-	shared, err := w.policyCompliant(asn)
+	row, err := w.compliantRow(asn)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[bgp.IngressID]bool, len(shared))
-	for k, v := range shared {
-		out[k] = v
+	out := make(map[bgp.IngressID]bool, len(row))
+	for _, id := range row {
+		out[id] = true
 	}
 	return out, nil
 }
 
-// policyCompliant is the memoized core of PolicyCompliant. The returned
-// map is shared with the cache and must be treated as read-only.
-func (w *World) policyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error) {
-	if !w.Graph.Has(asn) {
+// CompliantIngressIDs returns the same compliant set as PolicyCompliant
+// as an ascending-sorted slice shared with the cache: callers must treat
+// it as read-only. This is the zero-copy path the flat orchestrator
+// state is built from.
+func (w *World) CompliantIngressIDs(asn topology.ASN) ([]bgp.IngressID, error) {
+	return w.compliantRow(asn)
+}
+
+// compliantRow is the memoized core of PolicyCompliant: the sorted
+// compliant ingress row for an AS (shared, read-only).
+func (w *World) compliantRow(asn topology.ASN) ([]bgp.IngressID, error) {
+	ai, ok := w.idx.ID(asn)
+	if !ok {
 		return nil, fmt.Errorf("netsim: unknown AS %v", asn)
 	}
 	w.polMu.Lock()
-	if w.policy == nil {
-		w.policy = make(map[topology.ASN]map[bgp.IngressID]bool)
-	}
-	if c, ok := w.policy[asn]; ok {
+	if r := w.polRows[ai]; r != nil {
 		w.polMu.Unlock()
 		w.obs.policyHits.Inc()
-		return c, nil
+		return r, nil
 	}
 	w.polMu.Unlock()
 	w.obs.policyMiss.Inc()
-	up := w.ancestorsOf(asn)
-	// upPeer: up ∪ peers(up).
-	upPeer := make(map[topology.ASN]bool, len(up)*3)
-	for x := range up {
-		upPeer[x] = true
-		for _, p := range w.Graph.AS(x).Peers {
-			upPeer[p] = true
+
+	up := w.ancRow(ai)
+	// upPeer: up ∪ peers(up), as dense-ordinal membership bitmaps.
+	n := w.idx.Len()
+	upBits := make([]bool, n)
+	upPeerBits := make([]bool, n)
+	for _, a := range up {
+		upBits[a] = true
+		upPeerBits[a] = true
+		for _, p := range w.idx.Peers(a) {
+			upPeerBits[p] = true
 		}
 	}
-	out := make(map[bgp.IngressID]bool)
+	row := emptyCompliantRow
 	for _, pr := range w.Deploy.Peerings {
+		pi, ok := w.idx.ID(pr.PeerASN)
+		if !ok {
+			continue
+		}
 		if pr.ClassAtPeer == bgp.ClassCustomer {
 			// Transit: reachable iff some ancestor of the neighbor is in
 			// upPeer (valley-free walk: up, optional peer hop, down to
 			// the neighbor).
-			for a := range w.ancestorsOf(pr.PeerASN) {
-				if upPeer[a] {
-					out[pr.ID] = true
+			for _, a := range w.ancRow(pi) {
+				if upPeerBits[a] {
+					row = append(row, pr.ID)
 					break
 				}
 			}
 		} else {
 			// Settlement-free peer: the route only descends the
 			// neighbor's customer cone, so the AS must be in it.
-			if up[pr.PeerASN] {
-				out[pr.ID] = true
+			if upBits[pi] {
+				row = append(row, pr.ID)
 			}
 		}
 	}
+	slices.Sort(row)
 	w.polMu.Lock()
-	w.policy[asn] = out
+	w.polRows[ai] = row
 	w.polMu.Unlock()
-	return out, nil
+	return row, nil
+}
+
+// containsIngress reports membership in an ascending-sorted ingress row.
+func containsIngress(row []bgp.IngressID, id bgp.IngressID) bool {
+	_, ok := slices.BinarySearch(row, id)
+	return ok
 }
 
 // BestIngressLatency returns the minimum base latency over the AS's
@@ -703,12 +834,16 @@ func (w *World) policyCompliant(asn topology.ASN) (map[bgp.IngressID]bool, error
 // and recoveries invalidate entries — and only the entries whose answer
 // they can change (see events.go).
 func (w *World) BestIngressLatency(asn topology.ASN, metro string) (float64, bgp.IngressID, error) {
-	k := bestKey{asn: asn, metro: metro}
-	w.polMu.Lock()
-	if w.bestIng == nil {
-		w.bestIng = make(map[bestKey]bestVal)
+	ai, aok := w.idx.ID(asn)
+	mo, mok := w.metroOrd[metro]
+	if !aok || !mok {
+		// Unknown AS (errors below) or off-catalog metro: uncacheable.
+		w.obs.bestMiss.Inc()
+		return w.bestIngressLatency(asn, metro)
 	}
-	if v, ok := w.bestIng[k]; ok {
+	w.polMu.Lock()
+	if row := w.bestRows[ai]; row != nil && row[mo].set {
+		v := row[mo]
 		w.polMu.Unlock()
 		w.obs.bestHits.Inc()
 		return v.ms, v.ing, v.err
@@ -717,19 +852,36 @@ func (w *World) BestIngressLatency(asn topology.ASN, metro string) (float64, bgp
 	w.obs.bestMiss.Inc()
 	ms, ing, err := w.bestIngressLatency(asn, metro)
 	w.polMu.Lock()
-	w.bestIng[k] = bestVal{ms: ms, ing: ing, err: err}
+	if w.bestRows[ai] == nil {
+		w.bestRows[ai] = make([]bestVal, len(w.metroCodes))
+	}
+	w.bestRows[ai][mo] = bestVal{ms: ms, ing: ing, err: err, set: true}
 	w.polMu.Unlock()
 	return ms, ing, err
 }
 
+// bestCached reports whether BestIngressLatency has a live memo entry
+// for (asn, metro) — a test hook for the invalidation-precision tests.
+func (w *World) bestCached(asn topology.ASN, metro string) bool {
+	ai, aok := w.idx.ID(asn)
+	mo, mok := w.metroOrd[metro]
+	if !aok || !mok {
+		return false
+	}
+	w.polMu.Lock()
+	defer w.polMu.Unlock()
+	row := w.bestRows[ai]
+	return row != nil && row[mo].set
+}
+
 func (w *World) bestIngressLatency(asn topology.ASN, metro string) (float64, bgp.IngressID, error) {
-	pc, err := w.policyCompliant(asn)
+	pc, err := w.compliantRow(asn)
 	if err != nil {
 		return 0, bgp.InvalidIngress, err
 	}
 	best := math.Inf(1)
 	bestID := bgp.InvalidIngress
-	for ing := range pc {
+	for _, ing := range pc {
 		if w.IngressDown(ing) {
 			continue
 		}

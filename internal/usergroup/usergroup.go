@@ -6,6 +6,7 @@ package usergroup
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"painter/internal/geo"
@@ -46,7 +47,9 @@ type Set struct {
 	UGs       []UG
 	Resolvers []Resolver
 
-	byID  map[ID]*UG
+	// byIdx maps ID → index in UGs (-1 absent); IDs are dense from
+	// Build, so a slice beats a map at azure scale.
+	byIdx []int32
 	byRes map[ResolverID][]ID
 }
 
@@ -65,6 +68,16 @@ type Config struct {
 	// which is what makes DNS-based steering coarse (§5.2.2: LDNS serve
 	// geographically disparate users).
 	ResolversPerISP int
+	// TargetUGs, when positive, pads the natural (stub AS, metro
+	// presence) population up to this count by sampling extra
+	// (stub AS, metro) pairs — a uniform stub AS crossed with a
+	// population-weighted metro — deduplicated against existing pairs.
+	// This models eyeball ASes whose users appear in metros beyond the
+	// AS's registered presences, and is how azure-scale runs reach 10^5+
+	// UGs from 10^4 ASes. 0 leaves the natural population untouched
+	// (byte-identical to builds before the knob existed). The target is
+	// capped at stubs × metros (the pair space).
+	TargetUGs int
 }
 
 // DefaultConfig returns sensible defaults.
@@ -105,6 +118,17 @@ func Build(g *topology.Graph, cfg Config) (*Set, error) {
 	}
 	if len(ugs) == 0 {
 		return nil, fmt.Errorf("usergroup: topology has no stub ASes")
+	}
+
+	// Pad toward TargetUGs with synthetic (stub AS, metro) pairs. Guarded
+	// so TargetUGs=0 consumes no RNG draws and stays byte-identical to
+	// the pre-knob behavior.
+	if cfg.TargetUGs > len(ugs) {
+		var err error
+		ugs, err = padUGs(g, ugs, cfg.TargetUGs, rng)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Zipf weights assigned in shuffled order.
@@ -160,16 +184,88 @@ func Build(g *topology.Graph, cfg Config) (*Set, error) {
 	return newSet(ugs, resolvers), nil
 }
 
+// padUGs extends ugs with synthetic (stub AS, metro) pairs until it
+// reaches target (capped at the pair space): the AS is drawn uniformly
+// over stubs, the metro by population weight, and pairs already present
+// are rejected and redrawn.
+func padUGs(g *topology.Graph, ugs []UG, target int, rng *rand.Rand) ([]UG, error) {
+	var stubs []topology.ASN
+	for _, n := range g.ASNs() {
+		if g.AS(n).Tier == topology.TierStub {
+			stubs = append(stubs, n)
+		}
+	}
+	metros := geo.Metros()
+	cum := make([]float64, len(metros))
+	var total float64
+	for i, m := range metros {
+		total += m.Weight
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("usergroup: metro catalog has no weight")
+	}
+	if space := len(stubs) * len(metros); target > space {
+		target = space
+	}
+	seen := make(map[[2]int64]bool, target)
+	for _, u := range ugs {
+		mi := metroIndex(metros, u.Metro)
+		if mi < 0 {
+			continue
+		}
+		seen[[2]int64{int64(u.ASN), int64(mi)}] = true
+	}
+	id := ID(len(ugs))
+	for len(ugs) < target {
+		asn := stubs[rng.Intn(len(stubs))]
+		mi := sort.SearchFloat64s(cum, rng.Float64()*total)
+		if mi >= len(metros) {
+			mi = len(metros) - 1
+		}
+		key := [2]int64{int64(asn), int64(mi)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		m := metros[mi]
+		ugs = append(ugs, UG{ID: id, ASN: asn, Metro: m.Code, Coord: m.Coord})
+		id++
+	}
+	return ugs, nil
+}
+
+func metroIndex(metros []geo.Metro, code string) int {
+	for i, m := range metros {
+		if m.Code == code {
+			return i
+		}
+	}
+	return -1
+}
+
 func newSet(ugs []UG, resolvers []Resolver) *Set {
 	s := &Set{
 		UGs:       ugs,
 		Resolvers: resolvers,
-		byID:      make(map[ID]*UG, len(ugs)),
 		byRes:     make(map[ResolverID][]ID),
+	}
+	// IDs from Build are dense 0..n-1; Subset preserves original IDs, so
+	// index lookups go through a slice keyed by ID when the max ID is
+	// reasonable, avoiding a 10^5-entry map at azure scale.
+	maxID := ID(-1)
+	for i := range s.UGs {
+		if s.UGs[i].ID > maxID {
+			maxID = s.UGs[i].ID
+		}
+	}
+	s.byIdx = make([]int32, maxID+1)
+	for i := range s.byIdx {
+		s.byIdx[i] = -1
 	}
 	for i := range s.UGs {
 		u := &s.UGs[i]
-		s.byID[u.ID] = u
+		s.byIdx[u.ID] = int32(i)
 		s.byRes[u.Resolver] = append(s.byRes[u.Resolver], u.ID)
 	}
 	return s
@@ -195,7 +291,12 @@ func (s *Set) Subset(keep func(UG) bool) *Set {
 }
 
 // Get returns the UG with the given ID (nil if absent).
-func (s *Set) Get(id ID) *UG { return s.byID[id] }
+func (s *Set) Get(id ID) *UG {
+	if id < 0 || int(id) >= len(s.byIdx) || s.byIdx[id] < 0 {
+		return nil
+	}
+	return &s.UGs[s.byIdx[id]]
+}
 
 // Len returns the number of UGs.
 func (s *Set) Len() int { return len(s.UGs) }
@@ -214,7 +315,7 @@ func (s *Set) ByResolver(r ResolverID) []ID { return s.byRes[r] }
 
 // ResolverOf returns the resolver record for a UG.
 func (s *Set) ResolverOf(id ID) (Resolver, error) {
-	u := s.byID[id]
+	u := s.Get(id)
 	if u == nil {
 		return Resolver{}, fmt.Errorf("usergroup: unknown UG %d", id)
 	}

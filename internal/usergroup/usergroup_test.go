@@ -175,3 +175,93 @@ func TestBuildValidation(t *testing.T) {
 		t.Error("empty topology should fail")
 	}
 }
+
+func TestTargetUGsPadsPopulation(t *testing.T) {
+	g, err := topology.Generate(topology.GenConfig{Seed: 15, Tier1: 4, Tier2: 20, Stubs: 200,
+		MeanStubProviders: 2.3, Tier2PeerProb: 0.3, EnterpriseFrac: 0.4, ContentFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural, err := Build(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.TargetUGs = natural.Len() + 500
+	s, err := Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != cfg.TargetUGs {
+		t.Fatalf("padded set has %d UGs, want %d", s.Len(), cfg.TargetUGs)
+	}
+	// No duplicate (AS, metro) pairs; every UG is a stub AS in a real
+	// metro; weights still normalized; IDs dense.
+	seen := map[[2]string]bool{}
+	var total float64
+	for _, u := range s.UGs {
+		key := [2]string{u.ASN.String(), u.Metro}
+		if seen[key] {
+			t.Fatalf("duplicate UG pair %v", key)
+		}
+		seen[key] = true
+		if g.AS(u.ASN) == nil || g.AS(u.ASN).Tier != topology.TierStub {
+			t.Fatalf("UG %d references non-stub AS %v", u.ID, u.ASN)
+		}
+		total += u.Weight
+		if got := s.Get(u.ID); got == nil || got.ID != u.ID {
+			t.Fatalf("Get(%d) broken on padded set", u.ID)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("padded weights sum to %v, want 1", total)
+	}
+}
+
+func TestTargetUGsZeroIsByteIdentical(t *testing.T) {
+	g, err := topology.Generate(topology.GenConfig{Seed: 15, Tier1: 4, Tier2: 20, Stubs: 200,
+		MeanStubProviders: 2.3, Tier2PeerProb: 0.3, EnterpriseFrac: 0.4, ContentFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TargetUGs = 0
+	b, err := Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.UGs) != len(b.UGs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.UGs), len(b.UGs))
+	}
+	for i := range a.UGs {
+		if a.UGs[i] != b.UGs[i] {
+			t.Fatalf("UG %d differs with TargetUGs=0: %+v vs %+v", i, a.UGs[i], b.UGs[i])
+		}
+	}
+}
+
+func TestTargetUGsBelowNaturalIsNoop(t *testing.T) {
+	g, err := topology.Generate(topology.GenConfig{Seed: 15, Tier1: 4, Tier2: 20, Stubs: 200,
+		MeanStubProviders: 2.3, Tier2PeerProb: 0.3, EnterpriseFrac: 0.4, ContentFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural, err := Build(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.TargetUGs = natural.Len() / 2
+	s, err := Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != natural.Len() {
+		t.Fatalf("TargetUGs below natural count changed population: %d vs %d", s.Len(), natural.Len())
+	}
+}
