@@ -39,6 +39,9 @@ type runCtx struct {
 	// scaleOut, when set, makes the scale experiment write its result
 	// as JSON (BENCH_SCALE.json).
 	scaleOut string
+	// deltaOut, when set, makes the delta experiment write its result
+	// as JSON (BENCH_DELTA.json).
+	deltaOut string
 	// workers is the solver worker count for the scale sweep.
 	workers int
 	// fig6aRows is cached so fig14 (a re-projection of the same sweep)
@@ -213,6 +216,21 @@ var experimentList = []experiment{
 		}
 		return nil
 	}},
+	{"delta", "delta vs full BGP propagation by changed-catchment size", true, true, func(c *runCtx) error {
+		res, err := experiments.RunDeltaBench(c.env, experiments.DeltaBenchConfig{Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		if c.deltaOut != "" {
+			res.Meta = benchmeta.Collect()
+			if err := res.WriteJSON(c.deltaOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", c.deltaOut)
+		}
+		return nil
+	}},
 	{"scale", "solve wall-clock and memory across small/peering/azure", false, true, func(c *runCtx) error {
 		rep, err := experiments.RunScaleBench(experiments.ScaleBenchConfig{
 			Seed: c.seed, Workers: c.workers,
@@ -267,6 +285,7 @@ func main() {
 		dump    = flag.String("metrics-dump", "", `append one JSON obs snapshot per experiment to this file ("-" = stdout)`)
 		resOut  = flag.String("resolve-out", "", "write the resolve experiment's result as JSON to this file")
 		scOut   = flag.String("scale-out", "", "write the scale experiment's result as JSON to this file")
+		dltOut  = flag.String("delta-out", "", "write the delta experiment's result as JSON to this file")
 		workers = flag.Int("workers", 0, "solver worker count for the scale sweep (0 = GOMAXPROCS)")
 		skip    = flag.Bool("skip-slow", false, "skip solver-sweep experiments (explicit SKIP lines)")
 		budget  = flag.Duration("time-budget", 0, "stop starting new experiments once this much wall time has elapsed (0 = unlimited)")
@@ -326,7 +345,7 @@ func main() {
 	}
 
 	ctx := &runCtx{seed: *seed, iters: *iters, resolveOut: *resOut,
-		scaleOut: *scOut, workers: *workers}
+		scaleOut: *scOut, deltaOut: *dltOut, workers: *workers}
 	needEnv := false
 	for _, e := range experimentList {
 		if e.needsEnv && want(e.id) && !(*skip && e.slow) {

@@ -19,13 +19,22 @@ import (
 	"painter/internal/obs"
 )
 
-// propagateMetrics bundles the Propagate metric handles.
+// propagateMetrics bundles the Propagate metric handles. The delta
+// engine shares the handle struct: deltaFrontier/deltaChanged are the
+// catchment-size distributions the whole optimization rests on (small
+// frontiers are why repair beats re-propagation).
 type propagateMetrics struct {
 	total      *obs.Counter
 	seconds    *obs.Histogram
 	candidates *obs.Histogram
 	buckets    *obs.Histogram
 	settled    *obs.Histogram
+
+	deltaTotal    *obs.Counter
+	deltaNoops    *obs.Counter
+	deltaSeconds  *obs.Histogram
+	deltaFrontier *obs.Histogram
+	deltaChanged  *obs.Histogram
 }
 
 var propObs atomic.Pointer[propagateMetrics]
@@ -44,5 +53,11 @@ func InstrumentPropagate(r *obs.Registry) {
 		candidates: r.Histogram("bgp_propagate_candidates", "candidate routes enqueued per Propagate call"),
 		buckets:    r.Histogram("bgp_propagate_buckets", "maximum path-length bucket reached per Propagate call"),
 		settled:    r.Histogram("bgp_propagate_settled", "ASes settled with a route per Propagate call"),
+
+		deltaTotal:    r.Counter("bgp_propagate_delta_total", "delta propagations run (incl. no-ops)"),
+		deltaNoops:    r.Counter("bgp_propagate_delta_noops", "delta propagations that returned the base unchanged"),
+		deltaSeconds:  r.Histogram("bgp_propagate_delta_seconds", "wall time of one PropagateDelta call"),
+		deltaFrontier: r.Histogram("bgp_propagate_delta_frontier", "seed buckets invalidated per PropagateDelta call"),
+		deltaChanged:  r.Histogram("bgp_propagate_delta_changed", "ASes whose selection changed per PropagateDelta call"),
 	})
 }

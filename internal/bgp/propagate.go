@@ -246,6 +246,17 @@ func (q *bucketQueue) reset() {
 // PropagateReference is the retained map-based original; the two select
 // identical routes under any tie-breaker (see the differential tests).
 func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[topology.ASN]Route, error) {
+	res, err := PropagateResult(g, injections, tb)
+	if err != nil {
+		return nil, err
+	}
+	return res.selectionMap(), nil
+}
+
+// PropagateResult runs the same engine but retains the dense selection
+// state as a *Result, the warm base PropagateDelta repairs after small
+// input changes instead of re-propagating the whole graph.
+func PropagateResult(g *topology.Graph, injections []Injection, tb TieBreaker) (*Result, error) {
 	if tb == nil {
 		tb = MinIngressTieBreaker
 	}
@@ -413,12 +424,6 @@ func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[to
 		q.buckets[l] = q.buckets[l][:0]
 	}
 
-	out := make(map[topology.ASN]Route, settledCount)
-	for i := int32(0); i < int32(n); i++ {
-		if settled[i] {
-			out[idx.ASN(i)] = sel[i]
-		}
-	}
 	if m != nil {
 		m.total.Inc()
 		m.seconds.Observe(time.Since(start).Seconds())
@@ -426,7 +431,13 @@ func Propagate(g *topology.Graph, injections []Injection, tb TieBreaker) (map[to
 		m.buckets.Observe(float64(maxBucket))
 		m.settled.Observe(float64(settledCount))
 	}
-	return out, nil
+	return &Result{
+		idx:          idx,
+		sel:          sel,
+		settled:      settled,
+		settledCount: settledCount,
+		inj:          append([]Injection(nil), injections...),
+	}, nil
 }
 
 // ReachableIngresses computes, for one AS, the set of ingresses it could

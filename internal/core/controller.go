@@ -47,6 +47,7 @@ import (
 	"painter/internal/bgp"
 	"painter/internal/netsim"
 	"painter/internal/obs/span"
+	"painter/internal/topology"
 	"painter/internal/usergroup"
 )
 
@@ -61,6 +62,12 @@ type ControllerParams struct {
 	// ForceFullSolve recomputes from scratch on every dirtying sync —
 	// the control arm of the repair-vs-full benchmark.
 	ForceFullSolve bool
+	// FullAnycastRefresh disables the incremental anycast refresh: every
+	// dirtying sync re-reads every UG's anycast latency instead of only
+	// the states the resolve diff and spike set can have moved. Combined
+	// with World.SetDeltaResolve(false) this reproduces the pre-delta
+	// repair path — the baseline arm of the resolve benchmark.
+	FullAnycastRefresh bool
 }
 
 // DefaultFullSolveFraction: repairing more than half the prefixes does
@@ -95,6 +102,18 @@ type Controller struct {
 	dark []bool
 	cfg  Config
 
+	// Incremental anycast state: the retained anycast Result (and the
+	// day it was resolved on) lets refreshAnycast re-examine only the
+	// states whose selection moved (AnycastShift's changed-AS set — the
+	// delta engine's catchment cone) or whose current ingress was
+	// latency-touched, instead of recomputing every state's latency on
+	// every sync. anyIng is each state's currently selected anycast
+	// ingress (InvalidIngress when dark); byAS indexes states by ASN.
+	anyRes *bgp.Result
+	anyDay int
+	anyIng []bgp.IngressID
+	byAS   map[topology.ASN][]int32
+
 	mu      sync.Mutex
 	pending []netsim.Event
 	cancel  func()
@@ -122,11 +141,17 @@ func NewController(w *netsim.World, ugs *usergroup.Set, p ControllerParams) (*Co
 		return nil, err
 	}
 	c := &Controller{
-		w:    w,
-		o:    o,
-		p:    p,
-		dark: make([]bool, len(o.states)),
-		rm:   newRepairMetrics(p.Solver.Obs),
+		w:      w,
+		o:      o,
+		p:      p,
+		dark:   make([]bool, len(o.states)),
+		anyIng: make([]bgp.IngressID, len(o.states)),
+		byAS:   make(map[topology.ASN][]int32, len(o.states)),
+		rm:     newRepairMetrics(p.Solver.Obs),
+	}
+	for i, st := range o.states {
+		c.anyIng[i] = bgp.InvalidIngress
+		c.byAS[st.ug.ASN] = append(c.byAS[st.ug.ASN], int32(i))
 	}
 	c.cfg = o.computeConfig(nil, c.live, c.dark)
 	c.cancel = w.Subscribe(c.enqueue)
@@ -178,7 +203,7 @@ func (c *Controller) Sync() (Config, SyncReport, error) {
 		span.A("first_event", evs[0].String()))
 	defer sp.Finish()
 
-	touched, cameUp, model, err := c.classify(evs)
+	touched, cameUp, latTouched, model, err := c.classify(evs)
 	if err != nil {
 		return Config{}, rep, err
 	}
@@ -195,7 +220,7 @@ func (c *Controller) Sync() (Config, SyncReport, error) {
 		start = time.Now()
 	}
 
-	changed, err := c.refreshAnycast()
+	changed, err := c.refreshAnycast(latTouched)
 	if err != nil {
 		return Config{}, rep, err
 	}
@@ -230,15 +255,18 @@ func (c *Controller) Sync() (Config, SyncReport, error) {
 }
 
 // classify folds the batch of events into the inputs of the dirty rules:
-// the touched routing ingresses, the subset that came (back) up, and
-// whether anything at all can move the placement model.
-func (c *Controller) classify(evs []netsim.Event) (touched, cameUp map[bgp.IngressID]bool, model bool, err error) {
+// the touched routing ingresses, the subset that came (back) up, the
+// latency-only touched ingresses (spikes — they can move a state's
+// anycast value without moving its route), and whether anything at all
+// can move the placement model.
+func (c *Controller) classify(evs []netsim.Event) (touched, cameUp, latTouched map[bgp.IngressID]bool, model bool, err error) {
 	touched = make(map[bgp.IngressID]bool)
 	cameUp = make(map[bgp.IngressID]bool)
+	latTouched = make(map[bgp.IngressID]bool)
 	for _, ev := range evs {
 		imp, err := c.w.EventImpact(ev)
 		if err != nil {
-			return nil, nil, false, fmt.Errorf("core: classify %v: %w", ev, err)
+			return nil, nil, nil, false, fmt.Errorf("core: classify %v: %w", ev, err)
 		}
 		if imp.TrafficOnly {
 			continue
@@ -252,39 +280,89 @@ func (c *Controller) classify(evs []netsim.Event) (touched, cameUp map[bgp.Ingre
 					cameUp[id] = true
 				}
 			}
+		} else if imp.Latency {
+			for _, id := range imp.Ingresses {
+				latTouched[id] = true
+			}
 		}
 	}
-	return touched, cameUp, model, nil
+	return touched, cameUp, latTouched, model, nil
 }
 
-// refreshAnycast re-resolves the anycast prefix and updates every
-// state's baseline and the dark mask, returning the indices of states
-// whose value changed.
-func (c *Controller) refreshAnycast() ([]int, error) {
-	sel, err := c.w.ResolveIngress(c.w.Deploy.AllPeeringIDs())
+// refreshAnycast re-resolves the anycast prefix and updates state
+// baselines and the dark mask, returning the indices of states whose
+// value changed. With a retained previous Result (and an unchanged
+// day), only the states that can have moved are re-examined: those
+// whose AS is in the resolve diff, plus those whose current anycast
+// ingress took a latency-only event. The first sync — and any sync
+// after a day change or an error — falls back to refreshing every
+// state, which is exactly the pre-incremental behaviour.
+func (c *Controller) refreshAnycast(latTouched map[bgp.IngressID]bool) ([]int, error) {
+	res, moved, err := c.w.AnycastShift(c.anyRes)
 	if err != nil {
+		c.anyRes = nil
 		return nil, fmt.Errorf("core: refresh anycast: %w", err)
 	}
+	day := c.w.Day()
+	full := c.p.FullAnycastRefresh || c.anyRes == nil || day != c.anyDay
+
 	var changed []int
-	for i, st := range c.o.states {
-		r, ok := sel[st.ug.ASN]
+	refresh := func(i int) error {
+		st := c.o.states[i]
+		r, ok := res.Route(st.ug.ASN)
 		if !ok {
+			c.anyIng[i] = bgp.InvalidIngress
 			if !c.dark[i] {
 				c.dark[i] = true
 				changed = append(changed, i)
 			}
-			continue
+			return nil
 		}
 		ms, err := c.w.LatencyMs(st.ug.ASN, st.ug.Metro, r.Ingress)
 		if err != nil {
-			return nil, fmt.Errorf("core: refresh anycast UG %d: %w", st.ug.ID, err)
+			return fmt.Errorf("core: refresh anycast UG %d: %w", st.ug.ID, err)
 		}
 		if c.dark[i] || ms != st.anycast {
 			changed = append(changed, i)
 		}
 		c.dark[i] = false
 		st.anycast = ms
+		c.anyIng[i] = r.Ingress
+		return nil
 	}
+	if full {
+		for i := range c.o.states {
+			if err := refresh(i); err != nil {
+				c.anyRes = nil
+				return nil, err
+			}
+		}
+	} else {
+		mark := make([]bool, len(c.o.states))
+		for _, as := range moved {
+			for _, i := range c.byAS[as] {
+				mark[i] = true
+			}
+		}
+		if len(latTouched) > 0 {
+			for i, ing := range c.anyIng {
+				if latTouched[ing] {
+					mark[i] = true
+				}
+			}
+		}
+		// Ascending order keeps changed identical to a full refresh.
+		for i, m := range mark {
+			if !m {
+				continue
+			}
+			if err := refresh(i); err != nil {
+				c.anyRes = nil
+				return nil, err
+			}
+		}
+	}
+	c.anyRes, c.anyDay = res, day
 	return changed, nil
 }
 
@@ -325,11 +403,24 @@ func (c *Controller) dirtyPrefixes(touched, cameUp map[bgp.IngressID]bool, chang
 		if dirty[pi] {
 			continue
 		}
+		// Usability of S per state is model-only; with warm reuse on,
+		// read it off the cached contribution vector (NaN = unusable)
+		// instead of re-evaluating Eq. (2) per suspect.
+		var vec []float64
+		if !c.o.params.ColdRepair {
+			vec = c.o.frozenVec(S)
+		}
 		for _, i := range suspect {
 			if c.dark[i] {
 				continue
 			}
-			if e := c.o.states[i].expect(S, c.o.params.ReuseKm); e.Usable() {
+			usable := false
+			if vec != nil {
+				usable = !math.IsNaN(vec[i])
+			} else {
+				usable = c.o.states[i].expect(S, c.o.params.ReuseKm).Usable()
+			}
+			if usable {
 				dirty[pi] = true
 				break
 			}
@@ -346,8 +437,29 @@ func (c *Controller) dirtyPrefixes(touched, cameUp map[bgp.IngressID]bool, chang
 
 // stateValues returns each non-dark state's current modeled value: the
 // minimum of its anycast baseline and its expectation for every prefix.
+// With warm reuse on, the per-prefix expectations come from the cached
+// contribution vectors (strict-< folding, so the NaN sentinel loses
+// exactly like Usable()==false does on the cold path).
 func (c *Controller) stateValues() []float64 {
 	vals := make([]float64, len(c.o.states))
+	if !c.o.params.ColdRepair {
+		vecs := make([][]float64, len(c.cfg.Prefixes))
+		for pi, S := range c.cfg.Prefixes {
+			vecs[pi] = c.o.frozenVec(S)
+		}
+		for i, st := range c.o.states {
+			vals[i] = st.anycast
+			if c.dark[i] {
+				continue
+			}
+			for _, vec := range vecs {
+				if vec[i] < vals[i] {
+					vals[i] = vec[i]
+				}
+			}
+		}
+		return vals
+	}
 	for i, st := range c.o.states {
 		vals[i] = st.anycast
 		if c.dark[i] {

@@ -34,6 +34,12 @@ type Params struct {
 	ExactGreedy bool
 	// MaxPeeringsPerPrefix caps reuse breadth per prefix (0 = no cap).
 	MaxPeeringsPerPrefix int
+	// ColdRepair disables the warm-reuse caches (frozen prefix
+	// contribution vectors and grow-result memoization in warmcache.go)
+	// so every computeConfig/repairConfig evaluates Eq. (2) from scratch
+	// — the pre-delta solver behaviour. The resolve benchmark's baseline
+	// arm sets it; configurations are byte-identical either way.
+	ColdRepair bool
 	// Workers is the worker count for the sharded grow/freeze loops
 	// (0 = GOMAXPROCS, 1 = fully sequential). Any value produces
 	// byte-identical configurations: each per-candidate marginal is
@@ -93,6 +99,10 @@ type Orchestrator struct {
 	stateIdx map[usergroup.ID]int32
 
 	m solveMetrics
+
+	// warm holds the repair path's exact-reuse caches (warmcache.go);
+	// Learn invalidates it. Unused when params.ColdRepair is set.
+	warm warmCache
 
 	reports []IterationReport
 }
@@ -298,8 +308,8 @@ func (h candHeap) Less(i, j int) bool {
 	return h[i].ing < h[j].ing
 }
 func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)        { *h = append(*h, x.(candItem)) }
-func (h *candHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(candItem)) }
+func (h *candHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
 // ComputeConfig runs one full pass of Algorithm 1's two inner loops with
 // the current routing model, returning the chosen configuration.
@@ -375,9 +385,31 @@ func (o *Orchestrator) candidatePeerings(live func(bgp.IngressID) bool) []bgp.In
 }
 
 // freezePrefix folds prefix S's contribution into bestFrozen, skipping
-// dark states. The per-state updates are independent (index-disjoint
-// writes), so they run sharded.
+// dark states. With warm reuse on, the per-state Eq. (2) means come
+// from a cached contribution vector (computed once per distinct prefix
+// set until the model changes) and folding is a plain min scan.
 func (o *Orchestrator) freezePrefix(S []bgp.IngressID, bestFrozen []float64, dark []bool) {
+	if o.params.ColdRepair {
+		o.freezePrefixCold(S, bestFrozen, dark)
+		return
+	}
+	vec := o.frozenVec(S)
+	for i := range bestFrozen {
+		if dark != nil && dark[i] {
+			continue
+		}
+		// Same strict-< update as the cold path; the NaN sentinel for
+		// "unusable" loses every comparison, like Usable()==false.
+		if vec[i] < bestFrozen[i] {
+			bestFrozen[i] = vec[i]
+		}
+	}
+}
+
+// freezePrefixCold folds prefix S's contribution into bestFrozen by
+// evaluating Eq. (2) per state. The per-state updates are independent
+// (index-disjoint writes), so they run sharded.
+func (o *Orchestrator) freezePrefixCold(S []bgp.IngressID, bestFrozen []float64, dark []bool) {
 	workers := o.workerCount()
 	scs := growScratches(workers)
 	defer putScratches(scs)
@@ -390,6 +422,69 @@ func (o *Orchestrator) freezePrefix(S []bgp.IngressID, bestFrozen []float64, dar
 			bestFrozen[i] = e.Mean
 		}
 	})
+}
+
+// frozenVec returns prefix S's contribution vector: each state's
+// Eq. (2) mean, NaN where the prefix is unusable (Mean is a finite
+// average of estimates whenever Usable, so NaN is unambiguous). Cached
+// by set content; the vector is shared and read-only.
+func (o *Orchestrator) frozenVec(S []bgp.IngressID) []float64 {
+	key := setHash(S)
+	if vec, ok := o.warm.lookupFreeze(key, S); ok {
+		return vec
+	}
+	vec := make([]float64, len(o.states))
+	workers := o.workerCount()
+	scs := growScratches(workers)
+	defer putScratches(scs)
+	parallelWorkers(len(o.states), workers, func(w, i int) {
+		if e := o.states[i].expectSc(scs[w], S, o.params.ReuseKm); e.Usable() {
+			vec[i] = e.Mean
+		} else {
+			vec[i] = math.NaN()
+		}
+	})
+	o.warm.storeFreeze(key, S, vec)
+	return vec
+}
+
+// singletonRows returns (building on first use per model version) the
+// per-ingress singleton expectation table: rows[ing][k] is Eq. (2)'s
+// mean for state statesFor(ing)[k] under the one-peering set {ing},
+// NaN when unusable. growPrefix's initial sweep — the bulk of a grow —
+// probes exactly these values, so the table turns it into a table walk.
+func (o *Orchestrator) singletonRows() [][]float64 {
+	if o.in.Deploy == nil {
+		return nil // hand-built test orchestrator; grow computes cold
+	}
+	if rows := o.warm.lookupSingle(); rows != nil {
+		return rows
+	}
+	// Only deployment peerings get rows: they are the only grow
+	// candidates, and expectSc's popDist lookup is only defined for
+	// deployment IDs (learned compliance corrections can index states
+	// under foreign ingress IDs).
+	rows := make([][]float64, len(o.byIngress))
+	sc := exPool.Get().(*exScratch)
+	defer exPool.Put(sc)
+	one := make([]bgp.IngressID, 1)
+	for _, ing := range o.in.Deploy.AllPeeringIDs() {
+		idxs := o.statesFor(ing)
+		if len(idxs) == 0 {
+			continue
+		}
+		row := make([]float64, len(idxs))
+		one[0] = ing
+		for k, i := range idxs {
+			if e := o.states[i].expectSc(sc, one, o.params.ReuseKm); e.Usable() {
+				row[k] = e.Mean
+			} else {
+				row[k] = math.NaN()
+			}
+		}
+		rows[ing] = row
+	}
+	return o.warm.storeSingle(rows)
 }
 
 // growScratches checks out one expectation scratch per worker.
@@ -411,9 +506,32 @@ func putScratches(scs []*exScratch) {
 // as many peerings as keep marginal benefit positive, in ranked order of
 // modeled improvement. Candidates come from allPeerings; dark states
 // (nil = none) contribute no marginal benefit. growPrefix does not
-// mutate orchestrator state, so distinct calls with disjoint outputs may
-// run concurrently (the warm-start repair path does).
+// mutate orchestrator state (the warm cache is internally locked), so
+// distinct calls with disjoint outputs may run concurrently (the
+// warm-start repair path does).
+//
+// The result is a deterministic function of (candidates, frozen base,
+// dark mask) for a fixed learned model, so with warm reuse on an exact
+// input match returns the memoized set — the common case under churn,
+// where recovery events restore a previously grown state bit-for-bit.
 func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []float64, dark []bool) []bgp.IngressID {
+	if o.params.ColdRepair {
+		return o.growPrefixCold(allPeerings, bestFrozen, dark, nil)
+	}
+	key := growHash(allPeerings, bestFrozen, dark)
+	if S, ok := o.warm.lookupGrow(key, allPeerings, bestFrozen, dark); ok {
+		return S
+	}
+	S := o.growPrefixCold(allPeerings, bestFrozen, dark, o.singletonRows())
+	o.warm.storeGrow(key, allPeerings, bestFrozen, dark, S)
+	return S
+}
+
+// growPrefixCold is the uncached greedy grow loop. single, when
+// non-nil, is the singleton expectation table used to read the initial
+// sweep's Eq. (2) probes (each probe set there is exactly one peering)
+// instead of recomputing them; the resulting marginals are bit-equal.
+func (o *Orchestrator) growPrefixCold(allPeerings []bgp.IngressID, bestFrozen []float64, dark []bool, single [][]float64) []bgp.IngressID {
 	workers := o.workerCount()
 	scs := growScratches(workers)
 	defer putScratches(scs)
@@ -500,13 +618,154 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 		return S
 	}
 
+	// marginalSingle is marginalOf for the initial sweep (S empty, so
+	// the probe set is exactly {x}) reading Eq. (2) from the singleton
+	// table: same per-state values, same index order, same float sum.
+	marginalSingle := func(x bgp.IngressID) float64 {
+		var row []float64
+		if int(x) < len(single) {
+			row = single[x]
+		}
+		var delta float64
+		for k, i := range o.statesFor(x) {
+			if dark != nil && dark[i] {
+				continue
+			}
+			st := o.states[i]
+			oldVal := math.Min(bestFrozen[i], curE[i])
+			newE := math.Inf(1)
+			if v := row[k]; !math.IsNaN(v) {
+				newE = v
+			}
+			newVal := math.Min(bestFrozen[i], newE)
+			delta += st.ug.Weight * (oldVal - newVal)
+		}
+		return delta
+	}
+
+	// Warm incremental Eq. (2): per state, the (popDist, est) pairs of
+	// S's compliant members in accept order — exactly the values expectSc
+	// reads for that state, in the order it reads them, so means are
+	// bit-equal with no per-probe binary searches. The incremental form
+	// has no preference-dominance filtering, so states with learned facts
+	// (st.beats non-empty) fall back to expectSc. The singleton table
+	// supplies each member's est (a one-peering set's mean IS its est:
+	// alone it is never dominated and always within its own reuse radius).
+	reuse := o.params.ReuseKm
+	var incD, incE [][]float64
+	if single != nil {
+		incD = make([][]float64, len(o.states))
+		incE = make([][]float64, len(o.states))
+	}
+	// evalInc is Eq. (2)'s mean over state i's incremental pairs, plus an
+	// optional probe member (dx, ex) ordered last like marginalOf's S+x.
+	evalInc := func(i int32, dx, ex float64, probe bool) (float64, bool) {
+		dists, ests := incD[i], incE[i]
+		minDist := math.Inf(1)
+		for _, d := range dists {
+			if d < minDist {
+				minDist = d
+			}
+		}
+		if probe && dx < minDist {
+			minDist = dx
+		}
+		var sum float64
+		n := 0
+		for j, e := range ests {
+			if math.IsNaN(e) {
+				continue
+			}
+			if dists[j] <= minDist+reuse {
+				sum += e
+				n++
+			}
+		}
+		if probe && !math.IsNaN(ex) && dx <= minDist+reuse {
+			sum += ex
+			n++
+		}
+		if n == 0 {
+			return 0, false
+		}
+		return sum / float64(n), true
+	}
+	marginalInc := func(sc *exScratch, x bgp.IngressID) float64 {
+		var row []float64
+		if int(x) < len(single) {
+			row = single[x]
+		}
+		var delta float64
+		for k, i := range o.statesFor(x) {
+			if dark != nil && dark[i] {
+				continue
+			}
+			st := o.states[i]
+			oldVal := math.Min(bestFrozen[i], curE[i])
+			newE := math.Inf(1)
+			if len(st.beats) == 0 {
+				if m, ok := evalInc(i, st.popDist[x], row[k], true); ok {
+					newE = m
+				}
+			} else {
+				sx := append(sc.sx[:0], S...)
+				sx = append(sx, x)
+				sc.sx = sx
+				if e := st.expectSc(sc, sx, reuse); e.Usable() {
+					newE = e.Mean
+				}
+			}
+			newVal := math.Min(bestFrozen[i], newE)
+			delta += st.ug.Weight * (oldVal - newVal)
+		}
+		return delta
+	}
+	acceptInc := func(x bgp.IngressID) {
+		S = append(S, x)
+		inS[x] = true
+		var row []float64
+		if int(x) < len(single) {
+			row = single[x]
+		}
+		for k, i := range o.statesFor(x) {
+			st := o.states[i]
+			incD[i] = append(incD[i], st.popDist[x])
+			incE[i] = append(incE[i], row[k])
+			if len(st.beats) == 0 {
+				if m, ok := evalInc(i, 0, 0, false); ok {
+					curE[i] = m
+				} else {
+					curE[i] = math.Inf(1)
+				}
+			} else if e := st.expectSc(scs[0], S, reuse); e.Usable() {
+				curE[i] = e.Mean
+			} else {
+				curE[i] = math.Inf(1)
+			}
+		}
+	}
+
 	// Lazy greedy: cache marginals, re-evaluate only the top candidate.
 	// The initial sweep — the bulk of the work — is sharded; results land
 	// in candidate order so the heap is built from the same sequence a
 	// serial sweep would produce.
+	//
+	// stateVer (warm path only) tracks the version at which each state's
+	// curE last moved. A stale candidate whose compliant states were all
+	// untouched since its version would recompute the exact marginal it
+	// already carries — its value reads only curE and bestFrozen over
+	// statesFor(x) — so it is re-stamped current without re-evaluating.
+	var stateVer []int
+	if single != nil {
+		stateVer = make([]int, len(o.states))
+	}
 	version := 0
 	parallelWorkers(len(allPeerings), workers, func(w, k int) {
-		margs[k] = marginalOf(scs[w], allPeerings[k])
+		if single != nil {
+			margs[k] = marginalSingle(allPeerings[k])
+		} else {
+			margs[k] = marginalOf(scs[w], allPeerings[k])
+		}
 	})
 	h := make(candHeap, 0, len(allPeerings))
 	for k, x := range allPeerings {
@@ -522,9 +781,27 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 			continue
 		}
 		if top.version != version {
+			if stateVer != nil {
+				fresh := true
+				for _, i := range o.statesFor(top.ing) {
+					if stateVer[i] > top.version {
+						fresh = false
+						break
+					}
+				}
+				if fresh {
+					top.version = version
+					heap.Push(&h, top)
+					continue
+				}
+			}
 			// Stale cached marginal: refresh and reinsert; the heap
 			// decides whether it is still the best candidate.
-			top.marginal = marginalOf(scs[0], top.ing)
+			if single != nil {
+				top.marginal = marginalInc(scs[0], top.ing)
+			} else {
+				top.marginal = marginalOf(scs[0], top.ing)
+			}
 			top.version = version
 			heap.Push(&h, top)
 			continue
@@ -533,8 +810,19 @@ func (o *Orchestrator) growPrefix(allPeerings []bgp.IngressID, bestFrozen []floa
 			break
 		}
 		o.m.acceptedMarginal.Observe(top.marginal)
-		accept(top.ing)
+		if single != nil {
+			acceptInc(top.ing)
+		} else {
+			accept(top.ing)
+		}
 		version++
+		if stateVer != nil {
+			// Conservative: every state the accept re-evaluated counts as
+			// moved (extra recomputes are harmless; missed moves are not).
+			for _, i := range o.statesFor(top.ing) {
+				stateVer[i] = version
+			}
+		}
 	}
 	return S
 }
@@ -579,6 +867,11 @@ func (o *Orchestrator) PredictBenefit(cfg Config) (mean, lower, upper float64) {
 // preference facts and replacing estimates with measured latencies.
 // It returns the number of new facts.
 func (o *Orchestrator) Learn(cfg Config, obs []Observation) int {
+	// Any observation may rewrite estimates or preference facts — the
+	// inputs every warm-cache entry was computed under.
+	if len(obs) > 0 {
+		o.warm.invalidate()
+	}
 	facts := 0
 	for _, ob := range obs {
 		si, ok := o.stateIdx[ob.UG]

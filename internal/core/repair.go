@@ -130,12 +130,26 @@ func (o *Orchestrator) repairConfig(parent *span.Span, cfg Config, dirty []int, 
 
 // improvedStates returns the indices of non-dark UG states whose Eq. (2)
 // expectation under S beats their frozen best — the states whose value a
-// placement of S would actually change.
+// placement of S would actually change. With warm reuse on it reads the
+// cached contribution vector (NaN sentinel loses the strict <, exactly
+// like Usable()==false).
 func (o *Orchestrator) improvedStates(S []bgp.IngressID, bestFrozen []float64, dark []bool) []int {
 	if len(S) == 0 {
 		return nil
 	}
 	var out []int
+	if !o.params.ColdRepair {
+		vec := o.frozenVec(S)
+		for i := range o.states {
+			if dark != nil && dark[i] {
+				continue
+			}
+			if vec[i] < bestFrozen[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
 	for i, st := range o.states {
 		if dark != nil && dark[i] {
 			continue

@@ -1,0 +1,210 @@
+package core
+
+// Warm-reuse caches for the repair path. Both caches exploit the same
+// fact: expectSc depends only on the learned routing model (compliant
+// sets, estimates, preference facts) — never on anycast baselines,
+// liveness, or the dark mask — so between Learn calls every Eq. (2)
+// evaluation is a pure function of its arguments. The continuous
+// controller never calls Learn, which means a churning world revisits
+// the same (prefix set, frozen base) points over and over: a peering
+// flap's up-event restores exactly the pre-down state (the delta
+// engine's byte-identical recovery, pinned by the determinism tests),
+// so the regrow it triggers has been computed before.
+//
+// Two layers:
+//
+//   - frozen contribution vectors: freezePrefix's per-state Eq. (2)
+//     means for one prefix set, cached by set content. Rebuilding the
+//     repair path's frozen base becomes a min-fold over cached vectors
+//     instead of |clean prefixes| x |states| expectSc calls.
+//   - grow results: growPrefix is deterministic in (candidates, frozen
+//     base, dark mask, model); an exact match returns the previously
+//     grown peering set without re-running the greedy sweep.
+//
+// Hits require exact input equality (float bit equality via ==, so a
+// NaN anywhere simply never matches), making cached and cold results
+// byte-identical; Params.ColdRepair disables both layers (the resolve
+// benchmark's baseline arm). Learn invalidates everything by bumping
+// the model version. Entries are bounded by total retained floats;
+// overflow clears the cache (deterministic, and recovery re-warms it
+// within one churn cycle).
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"painter/internal/bgp"
+)
+
+// maxWarmFloats bounds the floats retained across all cache entries
+// (~32 MB); exceeding it clears the cache.
+const maxWarmFloats = 4 << 20
+
+type growEntry struct {
+	cands  []bgp.IngressID
+	frozen []float64
+	dark   []bool
+	S      []bgp.IngressID
+}
+
+func (e *growEntry) matches(cands []bgp.IngressID, frozen []float64, dark []bool) bool {
+	return slices.Equal(e.cands, cands) && slices.Equal(e.frozen, frozen) &&
+		slices.Equal(e.dark, dark)
+}
+
+type freezeEntry struct {
+	S   []bgp.IngressID
+	vec []float64
+}
+
+// warmCache is safe for concurrent use: the speculative regrow path
+// calls growPrefix from the worker pool.
+type warmCache struct {
+	mu     sync.Mutex
+	grow   map[uint64][]*growEntry
+	freeze map[uint64][]*freezeEntry
+	// single is the per-ingress singleton expectation table (built by
+	// singletonRows); nil until first use, cleared on invalidate.
+	single [][]float64
+	floats int
+}
+
+// invalidate drops everything; called when Learn changes the model.
+func (c *warmCache) invalidate() {
+	c.mu.Lock()
+	c.grow, c.freeze, c.single, c.floats = nil, nil, nil, 0
+	c.mu.Unlock()
+}
+
+func (c *warmCache) reserveLocked(n int) {
+	if c.floats+n > maxWarmFloats {
+		c.grow, c.freeze, c.floats = nil, nil, 0
+	}
+	c.floats += n
+}
+
+// lookupSingle returns the singleton table, or nil if not built yet.
+func (c *warmCache) lookupSingle() [][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.single
+}
+
+// storeSingle keeps the first table built (concurrent builders produce
+// identical tables) and returns the retained one. The table survives
+// cap-overflow clears of the entry caches — it is model-sized, not
+// churn-sized — and only invalidate drops it.
+func (c *warmCache) storeSingle(rows [][]float64) [][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.single == nil {
+		c.single = rows
+	}
+	return c.single
+}
+
+// fnv1a64 over a stream of 64-bit words.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func hashWord(h, w uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ (w >> i & 0xff)) * fnvPrime
+	}
+	return h
+}
+
+func growHash(cands []bgp.IngressID, frozen []float64, dark []bool) uint64 {
+	h := uint64(fnvOffset)
+	h = hashWord(h, uint64(len(cands)))
+	for _, id := range cands {
+		h = hashWord(h, uint64(uint32(id)))
+	}
+	h = hashWord(h, uint64(len(frozen)))
+	for _, f := range frozen {
+		h = hashWord(h, math.Float64bits(f))
+	}
+	h = hashWord(h, uint64(len(dark)))
+	for i, d := range dark {
+		if d {
+			h = hashWord(h, uint64(i))
+		}
+	}
+	return h
+}
+
+func setHash(S []bgp.IngressID) uint64 {
+	h := uint64(fnvOffset)
+	h = hashWord(h, uint64(len(S)))
+	for _, id := range S {
+		h = hashWord(h, uint64(uint32(id)))
+	}
+	return h
+}
+
+// lookupGrow returns a previously grown peering set for exactly these
+// inputs (copied: callers append the result into configs).
+func (c *warmCache) lookupGrow(key uint64, cands []bgp.IngressID, frozen []float64, dark []bool) ([]bgp.IngressID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.grow[key] {
+		if e.matches(cands, frozen, dark) {
+			return append([]bgp.IngressID(nil), e.S...), true
+		}
+	}
+	return nil, false
+}
+
+func (c *warmCache) storeGrow(key uint64, cands []bgp.IngressID, frozen []float64, dark []bool, S []bgp.IngressID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.grow[key] {
+		if e.matches(cands, frozen, dark) {
+			return // a concurrent speculative regrow already stored it
+		}
+	}
+	c.reserveLocked(len(frozen))
+	if c.grow == nil {
+		c.grow = make(map[uint64][]*growEntry)
+	}
+	c.grow[key] = append(c.grow[key], &growEntry{
+		cands:  append([]bgp.IngressID(nil), cands...),
+		frozen: append([]float64(nil), frozen...),
+		dark:   append([]bool(nil), dark...),
+		S:      append([]bgp.IngressID(nil), S...),
+	})
+}
+
+// lookupFreeze returns the cached contribution vector for a prefix set
+// (shared, read-only).
+func (c *warmCache) lookupFreeze(key uint64, S []bgp.IngressID) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.freeze[key] {
+		if slices.Equal(e.S, S) {
+			return e.vec, true
+		}
+	}
+	return nil, false
+}
+
+func (c *warmCache) storeFreeze(key uint64, S []bgp.IngressID, vec []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.freeze[key] {
+		if slices.Equal(e.S, S) {
+			return
+		}
+	}
+	c.reserveLocked(len(vec))
+	if c.freeze == nil {
+		c.freeze = make(map[uint64][]*freezeEntry)
+	}
+	c.freeze[key] = append(c.freeze[key], &freezeEntry{
+		S:   append([]bgp.IngressID(nil), S...),
+		vec: vec,
+	})
+}

@@ -1,13 +1,16 @@
 package experiments
 
 // Repair-vs-full-solve benchmark for the continuous re-solve
-// controller: two same-seed twin worlds receive an identical stream of
+// controller: same-seed twin worlds receive an identical stream of
 // single-event churn (peering flaps, latency spikes, preference flips).
-// One world is maintained by a warm-start repair controller, the twin
-// by a ForceFullSolve controller that recomputes from scratch on every
-// dirtying sync. Each sync is timed; the headline number is the median
-// per-trial speedup of repair over full solve, plus a quality check
-// that the two arms end the run with equivalent benefit.
+// One world is maintained by a warm-start repair controller, a twin by
+// a ForceFullSolve controller that recomputes from scratch on every
+// dirtying sync, and a third twin by the repair controller with delta
+// resolve and the incremental anycast refresh both disabled — the
+// pre-delta repair path, kept as the baseline arm. Each sync is timed;
+// the headline numbers are the median per-trial speedup of repair over
+// full solve and of delta-repair over the baseline repair path, plus a
+// quality check that the arms end the run with equivalent benefit.
 
 import (
 	"encoding/json"
@@ -62,6 +65,14 @@ type ResolveBenchResult struct {
 	P90Speedup      float64 `json:"p90_speedup"`
 	MedianDirtyFrac float64 `json:"median_dirty_frac"`
 
+	// Baseline comparison: trials where both the delta-repair arm and
+	// the baseline (delta resolve off, full anycast refresh) arm took
+	// the warm-start repair path.
+	PairedBaseline          int     `json:"paired_baseline"`
+	BaselineMedianMs        float64 `json:"baseline_repair_median_ms"`
+	MedianSpeedupVsBaseline float64 `json:"median_speedup_vs_baseline"`
+	P90SpeedupVsBaseline    float64 `json:"p90_speedup_vs_baseline"`
+
 	// Final ground-truth benefits of the two arms on their (identical)
 	// end-state worlds; RepairVsFull is their ratio.
 	RepairBenefit float64 `json:"repair_benefit"`
@@ -98,13 +109,31 @@ func RunResolveBench(env *Env, cfg ResolveBenchConfig) (*ResolveBenchResult, err
 		return nil, err
 	}
 	defer repairArm.Stop()
+	// Both control arms solve cold (no warm-reuse caches): the full arm
+	// is defined as "recompute from scratch", and the baseline arm
+	// reproduces the pre-delta repair path end to end — full propagation
+	// on every resolve miss, full anycast refresh, cold solver.
+	cold := core.DefaultParams(cfg.Budget)
+	cold.ColdRepair = true
 	fullArm, err := core.NewController(w2, env.AllUGs, core.ControllerParams{
-		Solver: core.DefaultParams(cfg.Budget), ForceFullSolve: true,
+		Solver: cold, ForceFullSolve: true,
 	})
 	if err != nil {
 		return nil, err
 	}
 	defer fullArm.Stop()
+	w3, err := netsim.New(env.Graph, env.Deploy, env.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	w3.SetDeltaResolve(false)
+	baseArm, err := core.NewController(w3, env.AllUGs, core.ControllerParams{
+		Solver: cold, FullAnycastRefresh: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer baseArm.Stop()
 
 	res := &ResolveBenchResult{
 		Scale: env.Scale.String(), Seed: cfg.Seed,
@@ -113,12 +142,16 @@ func RunResolveBench(env *Env, cfg ResolveBenchConfig) (*ResolveBenchResult, err
 	}
 
 	var repairMs, fullMs, speedups, dirtyFracs []float64
+	var baseMs, baseSpeedups []float64
 	for _, ev := range churnEvents(env, cfg) {
 		if err := w1.ApplyEvent(ev); err != nil {
 			return nil, fmt.Errorf("experiments: resolve bench: %w", err)
 		}
 		if err := w2.ApplyEvent(ev); err != nil {
 			return nil, fmt.Errorf("experiments: resolve bench twin: %w", err)
+		}
+		if err := w3.ApplyEvent(ev); err != nil {
+			return nil, fmt.Errorf("experiments: resolve bench baseline: %w", err)
 		}
 		t0 := time.Now()
 		_, rep1, err := repairArm.Sync()
@@ -132,6 +165,12 @@ func RunResolveBench(env *Env, cfg ResolveBenchConfig) (*ResolveBenchResult, err
 			return nil, err
 		}
 		d2 := time.Since(t1)
+		t2 := time.Now()
+		_, rep3, err := baseArm.Sync()
+		if err != nil {
+			return nil, err
+		}
+		d3 := time.Since(t2)
 
 		res.Trials++
 		switch {
@@ -149,6 +188,11 @@ func RunResolveBench(env *Env, cfg ResolveBenchConfig) (*ResolveBenchResult, err
 			speedups = append(speedups, float64(d2.Nanoseconds())/float64(d1.Nanoseconds()))
 			dirtyFracs = append(dirtyFracs, rep1.DirtyFraction)
 		}
+		if rep1.Repaired && rep3.Repaired {
+			res.PairedBaseline++
+			baseMs = append(baseMs, float64(d3.Nanoseconds())/1e6)
+			baseSpeedups = append(baseSpeedups, float64(d3.Nanoseconds())/float64(d1.Nanoseconds()))
+		}
 	}
 	if res.Paired == 0 {
 		return nil, fmt.Errorf("experiments: resolve bench produced no paired repair/full trials")
@@ -158,6 +202,9 @@ func RunResolveBench(env *Env, cfg ResolveBenchConfig) (*ResolveBenchResult, err
 	res.MedianSpeedup = quantile(speedups, 0.5)
 	res.P90Speedup = quantile(speedups, 0.9)
 	res.MedianDirtyFrac = quantile(dirtyFracs, 0.5)
+	res.BaselineMedianMs = quantile(baseMs, 0.5)
+	res.MedianSpeedupVsBaseline = quantile(baseSpeedups, 0.5)
+	res.P90SpeedupVsBaseline = quantile(baseSpeedups, 0.9)
 
 	// Quality check: both arms end on the same world state; compare
 	// ground-truth benefit of their final configs.
@@ -235,6 +282,10 @@ func (r *ResolveBenchResult) Table() Table {
 			{"median speedup", fmt.Sprintf("%.2fx", r.MedianSpeedup)},
 			{"p90 speedup", fmt.Sprintf("%.2fx", r.P90Speedup)},
 			{"median dirty fraction", F(r.MedianDirtyFrac)},
+			{"baseline-paired trials", fmt.Sprintf("%d", r.PairedBaseline)},
+			{"baseline repair median ms", fmt.Sprintf("%.3f", r.BaselineMedianMs)},
+			{"median speedup vs baseline", fmt.Sprintf("%.2fx", r.MedianSpeedupVsBaseline)},
+			{"p90 speedup vs baseline", fmt.Sprintf("%.2fx", r.P90SpeedupVsBaseline)},
 			{"final repair benefit", F(r.RepairBenefit)},
 			{"final full benefit", F(r.FullBenefit)},
 			{"repair / full", fmt.Sprintf("%.4f", r.RepairVsFull)},

@@ -28,6 +28,7 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"painter/internal/bgp"
 	"painter/internal/cloud"
@@ -270,7 +271,7 @@ func (w *World) ApplyEvent(ev Event) error {
 			}
 			w.prefMu.Unlock()
 		}
-		w.dropResolveContaining(ev.Ingress)
+		w.dropResolveContaining(ev.AS, ev.Ingress)
 	}
 
 	w.notify(ev)
@@ -441,7 +442,15 @@ func (w *World) invalidateBestForUp(ids []bgp.IngressID) {
 // set contains the given ingress — the only entries a preference flip
 // involving that ingress can affect. Entries carry their exact sorted
 // sets, so containment is one binary search each.
-func (w *World) dropResolveContaining(id bgp.IngressID) {
+//
+// Dropped entries are not discarded: each is still an exact propagation
+// of its injection set under the pre-flip tie-breaker, so it moves to
+// the stale delta-base pool tagged with the flipped AS. Re-resolving
+// the same peering set then finds a zero-symdiff base and repairs it
+// with PropagateDelta seeded at that single AS — the flip's catchment
+// cone — instead of re-propagating the whole graph. Stale bases that
+// already contain the ingress accumulate the flip in their tag list.
+func (w *World) dropResolveContaining(as topology.ASN, id bgp.IngressID) {
 	dropped := 0
 	w.resolveMu.Lock()
 	for h, bucket := range w.resolveCache {
@@ -449,6 +458,14 @@ func (w *World) dropResolveContaining(id bgp.IngressID) {
 		for _, e := range bucket {
 			if containsIngress(e.ids, id) {
 				dropped++
+				if e.done.Load() && e.err == nil && e.res != nil {
+					w.pushStaleBaseLocked(staleBase{
+						day:   e.day,
+						ids:   e.ids,
+						res:   e.res,
+						flips: []topology.ASN{as},
+					})
+				}
 				continue
 			}
 			kept = append(kept, e)
@@ -457,6 +474,12 @@ func (w *World) dropResolveContaining(id bgp.IngressID) {
 			delete(w.resolveCache, h)
 		} else {
 			w.resolveCache[h] = kept
+		}
+	}
+	for i := range w.staleBases {
+		sb := &w.staleBases[i]
+		if containsIngress(sb.ids, id) && !slices.Contains(sb.flips, as) {
+			sb.flips = append(sb.flips, as)
 		}
 	}
 	w.resolveCount -= dropped

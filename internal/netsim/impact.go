@@ -85,3 +85,18 @@ func (w *World) EventImpact(ev Event) (Impact, error) {
 		return Impact{}, fmt.Errorf("netsim: unknown event kind %v", ev.Kind)
 	}
 }
+
+// AnycastShift resolves the full anycast catchment (all deployment
+// peerings) and reports which ASes changed selection relative to prev —
+// the incremental entry point for consumers that retain the previous
+// anycast Result (the re-solve controller, CatchmentAnalyzer). A nil or
+// foreign-graph prev yields every settled AS as changed; when the
+// resolve is a cache hit on prev itself the changed set is empty. The
+// returned Result is shared with the resolve cache: read-only.
+func (w *World) AnycastShift(prev *bgp.Result) (*bgp.Result, []topology.ASN, error) {
+	res, err := w.ResolveIngressResult(w.Deploy.AllPeeringIDs())
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Diff(prev), nil
+}

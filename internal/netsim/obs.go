@@ -18,6 +18,8 @@ type worldObs struct {
 	resolveHits  *obs.Counter
 	resolveMiss  *obs.Counter
 	resolveInval *obs.Counter
+	resolveDelta *obs.Counter
+	resolveFull  *obs.Counter
 
 	prefHits  *obs.Counter
 	prefMiss  *obs.Counter
@@ -46,6 +48,8 @@ func newWorldObs() worldObs {
 		resolveHits:  r.Counter("netsim_resolve_cache_hits_total", "propagation-cache hits in ResolveIngress"),
 		resolveMiss:  r.Counter("netsim_resolve_cache_misses_total", "propagation-cache misses in ResolveIngress"),
 		resolveInval: r.Counter("netsim_resolve_cache_invalidations_total", "propagation-cache entries dropped by SetDay or events"),
+		resolveDelta: r.Counter("netsim_resolve_delta_total", "resolve misses served by delta propagation from a cached base"),
+		resolveFull:  r.Counter("netsim_resolve_full_total", "resolve misses served by a full whole-graph propagation"),
 
 		prefHits:  r.Counter("netsim_prefscore_cache_hits_total", "hidden-preference memo hits"),
 		prefMiss:  r.Counter("netsim_prefscore_cache_misses_total", "hidden-preference memo misses"),
@@ -84,6 +88,10 @@ type CacheStats struct {
 	ResolveHits          uint64
 	ResolveMisses        uint64
 	ResolveInvalidations uint64
+	// ResolveDeltaRuns + ResolveFullRuns partition the misses that ran a
+	// propagation (errors before propagation are in neither).
+	ResolveDeltaRuns uint64
+	ResolveFullRuns  uint64
 
 	PrefScoreHits          uint64
 	PrefScoreMisses        uint64
@@ -104,6 +112,8 @@ func (w *World) CacheStats() CacheStats {
 		ResolveHits:          m.resolveHits.Value(),
 		ResolveMisses:        m.resolveMiss.Value(),
 		ResolveInvalidations: m.resolveInval.Value(),
+		ResolveDeltaRuns:     m.resolveDelta.Value(),
+		ResolveFullRuns:      m.resolveFull.Value(),
 
 		PrefScoreHits:          m.prefHits.Value(),
 		PrefScoreMisses:        m.prefMiss.Value(),

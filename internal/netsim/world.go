@@ -34,6 +34,7 @@ import (
 	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"painter/internal/bgp"
 	"painter/internal/cloud"
@@ -101,6 +102,18 @@ type World struct {
 	resolveMu    sync.Mutex
 	resolveCache map[uint64][]*resolveEntry
 	resolveCount int
+	// deltaResolve serves cache misses by delta propagation from the
+	// closest cached base when one is close enough (on by default); off
+	// restores the pre-delta behaviour — every miss runs a full
+	// propagation — and is the control arm of the delta benchmarks.
+	deltaResolve bool
+	// staleBases retains recently evicted resolve entries as delta
+	// bases: a pref flip drops the cache entries containing its ingress
+	// (their selections are stale) but each dropped Result is still an
+	// exact propagation of its injection set under the pre-flip
+	// tie-breaker — exactly what PropagateDelta needs, given the flip
+	// list. FIFO-capped at maxStaleBases; cleared by SetDay.
+	staleBases []staleBase
 
 	// prefMu guards the hidden-preference cache: prefScore is pure per
 	// (AS, ingress, day) and called for every tie-break candidate, so
@@ -155,9 +168,26 @@ type resolveEntry struct {
 	day  int
 	ids  []bgp.IngressID // sorted, owned by the entry
 	once sync.Once
+	// done is set after once.Do completes; the delta base scan reads
+	// res/err lock-free from other entries, so it checks done first
+	// (Store is the release, Load the acquire).
+	done atomic.Bool
+	res  *bgp.Result
 	sel  map[topology.ASN]bgp.Route
 	err  error
 }
+
+// staleBase is an evicted propagation Result retained as a delta base,
+// together with the tie-break flips applied since it was computed.
+type staleBase struct {
+	day   int
+	ids   []bgp.IngressID
+	res   *bgp.Result
+	flips []topology.ASN
+}
+
+// maxStaleBases caps the stale delta-base pool (FIFO eviction).
+const maxStaleBases = 256
 
 type prefKey struct {
 	as  topology.ASN
@@ -262,6 +292,7 @@ func NewWithConfig(g *topology.Graph, d *cloud.Deployment, seed int64, cfg Confi
 		asHomeOK: make([]bool, idx.Len()),
 
 		resolveCache: make(map[uint64][]*resolveEntry),
+		deltaResolve: true,
 		prefRows:     make([][]float64, idx.Len()),
 		ancRows:      make([][]int32, idx.Len()),
 		polRows:      make([][]bgp.IngressID, idx.Len()),
@@ -325,6 +356,9 @@ func (w *World) SetDay(d int) {
 	w.obs.resolveInval.Add(uint64(w.resolveCount))
 	w.resolveCache = make(map[uint64][]*resolveEntry)
 	w.resolveCount = 0
+	// Stale delta bases are day-scoped: preference drift re-rolls with
+	// the day, so a previous day's Result is not a valid base.
+	w.staleBases = nil
 	w.resolveMu.Unlock()
 	w.prefMu.Lock()
 	w.obs.prefInval.Add(uint64(w.prefCount))
@@ -616,6 +650,30 @@ func (w *World) ResolveIngressTraced(peerings []bgp.IngressID, parent *span.Span
 	return w.resolveIngress(peerings, parent)
 }
 
+// ResolveIngressResult is ResolveIngress returning the retained
+// *bgp.Result instead of the selection map. It shares the same
+// propagation cache (same keying, same memoized entries), so callers
+// that keep the previous Result can diff incrementally via Result.Diff
+// or AnycastShift. The Result is shared with the cache: read-only.
+func (w *World) ResolveIngressResult(peerings []bgp.IngressID) (*bgp.Result, error) {
+	e := w.resolveEntryFor(peerings, nil)
+	return e.res, e.err
+}
+
+// SetDeltaResolve toggles serving resolve-cache misses by delta
+// propagation from the closest cached base (on by default). Turning it
+// off restores the pre-delta behaviour — every miss runs a full
+// propagation — and drops the stale base pool; this is the control arm
+// of the delta benchmarks. Not safe concurrently with queries.
+func (w *World) SetDeltaResolve(on bool) {
+	w.resolveMu.Lock()
+	w.deltaResolve = on
+	if !on {
+		w.staleBases = nil
+	}
+	w.resolveMu.Unlock()
+}
+
 // sortBuf is the pooled scratch for canonicalizing a resolve's peering
 // set without allocating per call.
 type sortBuf struct{ ids []bgp.IngressID }
@@ -623,6 +681,16 @@ type sortBuf struct{ ids []bgp.IngressID }
 var sortBufPool = sync.Pool{New: func() any { return new(sortBuf) }}
 
 func (w *World) resolveIngress(peerings []bgp.IngressID, parent *span.Span) (map[topology.ASN]bgp.Route, error) {
+	e := w.resolveEntryFor(peerings, parent)
+	return e.sel, e.err
+}
+
+// resolveEntryFor finds or computes the propagation-cache entry for a
+// peering set. On a miss it first looks for a close cached base (live
+// entry or stale pool) and repairs it with PropagateDelta — byte-
+// identical to a full propagation, pinned by the differential tests —
+// falling back to a full run when no base is close enough.
+func (w *World) resolveEntryFor(peerings []bgp.IngressID, parent *span.Span) *resolveEntry {
 	buf := sortBufPool.Get().(*sortBuf)
 	sorted := append(buf.ids[:0], peerings...)
 	slices.Sort(sorted)
@@ -671,12 +739,26 @@ func (w *World) resolveIngress(peerings []bgp.IngressID, parent *span.Span) (map
 	// sorted before tie-breaking), so resolving from the canonical slice
 	// is equivalent to resolving from the caller's order.
 	e.once.Do(func() {
+		defer e.done.Store(true)
 		inj, err := w.Deploy.Injections(e.ids)
 		if err != nil {
 			e.err = err
 			return
 		}
-		e.sel, e.err = bgp.PropagateTraced(w.Graph, inj, w.TieBreaker(), s)
+		tb := w.TieBreaker()
+		if base, flips := w.findDeltaBase(e.day, e.ids); base != nil {
+			if res, _, derr := bgp.PropagateDeltaTraced(base, w.Graph, inj, flips, tb, s); derr == nil {
+				w.obs.resolveDelta.Inc()
+				e.res = res
+				e.sel = res.Selections()
+				return
+			}
+		}
+		w.obs.resolveFull.Inc()
+		e.res, e.err = bgp.PropagateResultTraced(w.Graph, inj, tb, s)
+		if e.err == nil {
+			e.sel = e.res.Selections()
+		}
 	})
 	if s != nil {
 		if e.err != nil {
@@ -684,7 +766,84 @@ func (w *World) resolveIngress(peerings []bgp.IngressID, parent *span.Span) (map
 		}
 		s.Finish()
 	}
-	return e.sel, e.err
+	return e
+}
+
+// findDeltaBase scans the live propagation cache and the stale pool for
+// the cached Result closest to the target peering set (minimum
+// symmetric difference), along with the tie-break flips applied since
+// it was computed (always empty for live entries: flips evict the
+// entries they can affect). A base is accepted only when the sets
+// overlap substantially — 2*symdiff <= max(4, |union|) — past that
+// point a full propagation is no slower and the delta bookkeeping is
+// waste.
+func (w *World) findDeltaBase(day int, sorted []bgp.IngressID) (*bgp.Result, []topology.ASN) {
+	w.resolveMu.Lock()
+	defer w.resolveMu.Unlock()
+	if !w.deltaResolve {
+		return nil, nil
+	}
+	var best *bgp.Result
+	var bestFlips []topology.ASN
+	bestSD := -1
+	consider := func(ids []bgp.IngressID, res *bgp.Result, flips []topology.ASN) {
+		sd := symDiffSize(ids, sorted)
+		if bestSD >= 0 && sd >= bestSD {
+			return
+		}
+		union := (len(ids) + len(sorted) + sd) / 2
+		if 2*sd > max(4, union) {
+			return
+		}
+		best, bestFlips, bestSD = res, flips, sd
+	}
+	for _, bucket := range w.resolveCache {
+		for _, e := range bucket {
+			if e.day != day || !e.done.Load() || e.err != nil || e.res == nil {
+				continue
+			}
+			consider(e.ids, e.res, nil)
+		}
+	}
+	for i := range w.staleBases {
+		sb := &w.staleBases[i]
+		if sb.day != day {
+			continue
+		}
+		consider(sb.ids, sb.res, sb.flips)
+	}
+	return best, bestFlips
+}
+
+// symDiffSize counts the symmetric difference of two ascending-sorted
+// ingress sets by a merge walk.
+func symDiffSize(a, b []bgp.IngressID) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+			n++
+		default:
+			j++
+			n++
+		}
+	}
+	return n + (len(a) - i) + (len(b) - j)
+}
+
+// pushStaleBaseLocked appends to the stale base pool with FIFO
+// eviction; caller holds resolveMu.
+func (w *World) pushStaleBaseLocked(sb staleBase) {
+	if len(w.staleBases) >= maxStaleBases {
+		copy(w.staleBases, w.staleBases[1:])
+		w.staleBases[len(w.staleBases)-1] = sb
+		return
+	}
+	w.staleBases = append(w.staleBases, sb)
 }
 
 // resolveHash hashes (day, sorted peering set) into the propagation
