@@ -9,6 +9,11 @@ COVER_FLOOR = 70
 # and metamorphic suites are its correctness argument.
 COVER_PKGS_BGP = painter/internal/bgp
 COVER_FLOOR_BGP = 85
+# The tenant control plane carries its own floor: spec validation, the
+# store's optimistic concurrency, and the reconcile state machine are
+# all small, fully-exercisable surfaces.
+COVER_PKGS_TENANT = painter/internal/tenant
+COVER_FLOOR_TENANT = 80
 
 # Native fuzz targets smoke-tested by `make fuzz` (one -fuzz per run).
 FUZZ_TIME ?= 10s
@@ -44,7 +49,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -shuffle=on ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/obs/span/ ./internal/controlapi/ ./internal/usergroup/
+	$(GO) test -race -shuffle=on ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/obs/span/ ./internal/controlapi/ ./internal/usergroup/ ./internal/tenant/
 
 # Short fuzzing smoke on the wire decoders: each target runs for
 # FUZZ_TIME (go test allows one -fuzz pattern per invocation).
@@ -59,7 +64,7 @@ fuzz:
 # Coverage with a per-package floor for the failure-handling core and a
 # higher floor for the BGP engine.
 cover:
-	$(GO) test -coverprofile=coverage.out -covermode=atomic $(COVER_PKGS) $(COVER_PKGS_BGP)
+	$(GO) test -coverprofile=coverage.out -covermode=atomic $(COVER_PKGS) $(COVER_PKGS_BGP) $(COVER_PKGS_TENANT)
 	@$(GO) test -cover $(COVER_PKGS) 2>/dev/null | awk -v floor=$(COVER_FLOOR) ' \
 		/coverage:/ { \
 			pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
@@ -68,6 +73,13 @@ cover:
 		} \
 		END { exit bad }'
 	@$(GO) test -cover $(COVER_PKGS_BGP) 2>/dev/null | awk -v floor=$(COVER_FLOOR_BGP) ' \
+		/coverage:/ { \
+			pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+			if (pct + 0 < floor) { printf "FAIL: %s below %s%% coverage floor\n", $$2, floor; bad = 1 } \
+			else { printf "ok: %s %s%%\n", $$2, pct } \
+		} \
+		END { exit bad }'
+	@$(GO) test -cover $(COVER_PKGS_TENANT) 2>/dev/null | awk -v floor=$(COVER_FLOOR_TENANT) ' \
 		/coverage:/ { \
 			pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
 			if (pct + 0 < floor) { printf "FAIL: %s below %s%% coverage floor\n", $$2, floor; bad = 1 } \
@@ -93,6 +105,7 @@ bench-json:
 	$(GO) run ./cmd/painter-bench -exp resolve -scale small -resolve-out BENCH_RESOLVE.json
 	$(GO) run ./cmd/painter-bench -exp delta -scale peering -delta-out BENCH_DELTA.json
 	$(GO) run ./cmd/painter-bench -exp scale -scale-out BENCH_SCALE.json
+	$(GO) run ./cmd/painter-bench -exp tenants -tenants-out BENCH_TENANTS.json
 
 # Measure observability overhead on the propagation hot path: live obs
 # vs the no-op default, plus the -tags obsstrip compile-time-stripped

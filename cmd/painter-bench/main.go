@@ -26,6 +26,7 @@ import (
 	"painter/internal/bgp"
 	"painter/internal/experiments"
 	"painter/internal/obs"
+	"painter/internal/tenant"
 )
 
 // runCtx carries shared state into experiment run functions.
@@ -42,6 +43,9 @@ type runCtx struct {
 	// deltaOut, when set, makes the delta experiment write its result
 	// as JSON (BENCH_DELTA.json).
 	deltaOut string
+	// tenantsOut, when set, makes the tenants experiment write its
+	// result as JSON (BENCH_TENANTS.json).
+	tenantsOut string
 	// workers is the solver worker count for the scale sweep.
 	workers int
 	// fig6aRows is cached so fig14 (a re-projection of the same sweep)
@@ -231,6 +235,21 @@ var experimentList = []experiment{
 		}
 		return nil
 	}},
+	{"tenants", "multi-tenant steady-state churn: events/sec and sync latency vs tenant count", false, true, func(c *runCtx) error {
+		res, err := tenant.RunBench(tenant.BenchConfig{Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		if c.tenantsOut != "" {
+			res.Meta = benchmeta.Collect()
+			if err := res.WriteJSON(c.tenantsOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", c.tenantsOut)
+		}
+		return nil
+	}},
 	{"scale", "solve wall-clock and memory across small/peering/azure", false, true, func(c *runCtx) error {
 		rep, err := experiments.RunScaleBench(experiments.ScaleBenchConfig{
 			Seed: c.seed, Workers: c.workers,
@@ -286,6 +305,7 @@ func main() {
 		resOut  = flag.String("resolve-out", "", "write the resolve experiment's result as JSON to this file")
 		scOut   = flag.String("scale-out", "", "write the scale experiment's result as JSON to this file")
 		dltOut  = flag.String("delta-out", "", "write the delta experiment's result as JSON to this file")
+		tntOut  = flag.String("tenants-out", "", "write the tenants experiment's result as JSON to this file")
 		workers = flag.Int("workers", 0, "solver worker count for the scale sweep (0 = GOMAXPROCS)")
 		skip    = flag.Bool("skip-slow", false, "skip solver-sweep experiments (explicit SKIP lines)")
 		budget  = flag.Duration("time-budget", 0, "stop starting new experiments once this much wall time has elapsed (0 = unlimited)")
@@ -345,7 +365,7 @@ func main() {
 	}
 
 	ctx := &runCtx{seed: *seed, iters: *iters, resolveOut: *resOut,
-		scaleOut: *scOut, deltaOut: *dltOut, workers: *workers}
+		scaleOut: *scOut, deltaOut: *dltOut, tenantsOut: *tntOut, workers: *workers}
 	needEnv := false
 	for _, e := range experimentList {
 		if e.needsEnv && want(e.id) && !(*skip && e.slow) {

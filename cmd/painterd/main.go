@@ -8,7 +8,10 @@
 //	GET  /config            current configuration (prefix → peerings)
 //	GET  /evaluate          ground-truth benefit of the current config
 //	GET  /reports           per-iteration learning reports
-//	GET  /metrics           Prometheus text exposition
+//	GET  /tenants           multi-tenant control plane (PUT/GET/DELETE
+//	                        /tenants/{id}, plus /status and /reports)
+//	GET  /metrics           Prometheus text exposition, every tenant's
+//	                        series labeled tenant="<id>"
 //	GET  /debug/obs         merged obs snapshot as JSON
 //	GET  /debug/trace       flight recorder as Chrome trace-event JSON
 //	GET  /debug/pprof/      runtime profiles (with -pprof)
@@ -17,35 +20,37 @@
 // server (-route-server host:port) — the "advertisement installation"
 // arrow of Fig. 4; pair with cmd/route-server.
 //
-// With -continuous the daemon additionally runs the event-driven
-// re-solve controller (internal/core.Controller) against a private
-// same-seed world churned by a generated fault schedule, logging each
-// sync's outcome and exporting the core_repair_* metrics on /metrics:
+// The daemon always runs the multi-tenant control plane: a
+// tenant.Manager reconciles declarative tenant specs (PUT
+// /tenants/{id}) into private worlds each churned by its own fault
+// schedule and tracked by its own continuous re-solve controller
+// (internal/core.Controller). -continuous is sugar that submits one
+// bootstrap tenant mirroring the daemon's own scale and seed before
+// serving:
 //
 //	painterd -scale small -continuous -tick 500ms -chaos-ticks 200
+//
+// On SIGINT/SIGTERM the manager drains first — each tenant's in-flight
+// sync completes, its final evaluation is flushed, and one summary
+// line is logged per tenant — then the HTTP listener closes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
-	"painter/internal/chaos"
 	"painter/internal/controlapi"
-	"painter/internal/core"
 	"painter/internal/daemon"
 	"painter/internal/experiments"
-	"painter/internal/netsim"
 	"painter/internal/obs"
-	"painter/internal/obs/span"
+	"painter/internal/tenant"
 )
 
 func main() {
@@ -54,11 +59,11 @@ func main() {
 		scale       = flag.String("scale", "peering", "environment scale: small, peering, azure")
 		seed        = flag.Int64("seed", 7, "world seed")
 		routeServer = flag.String("route-server", "", "optional BGP route server to announce configs to (host:port)")
-		continuous  = flag.Bool("continuous", false, "run the continuous re-solve controller against a generated fault schedule")
-		tick        = flag.Duration("tick", 2*time.Second, "tick interval of the -continuous fault schedule")
-		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-schedule seed for -continuous")
-		chaosTicks  = flag.Int("chaos-ticks", 120, "fault-schedule length in ticks for -continuous")
-		budget      = flag.Int("budget", 0, "prefix budget for -continuous (0 = 10% of peerings, min 5)")
+		continuous  = flag.Bool("continuous", false, "submit a bootstrap tenant running the continuous re-solve controller")
+		tick        = flag.Duration("tick", 2*time.Second, "tick interval of the bootstrap tenant")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "fault-schedule seed for the bootstrap tenant")
+		chaosTicks  = flag.Int("chaos-ticks", 120, "fault-schedule length in ticks for the bootstrap tenant")
+		budget      = flag.Int("budget", 0, "prefix budget for the bootstrap tenant (0 = 10% of peerings, min 5)")
 	)
 	of := daemon.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -88,9 +93,34 @@ func main() {
 		os.Exit(1)
 	}
 	tracer := of.Tracer("painterd")
+	mgr := tenant.NewManager(tenant.Params{Logger: logger, Trace: tracer})
 	srv := controlapi.New(env, *routeServer)
 	srv.Trace = tracer
 	srv.Pprof = of.Pprof
+	srv.Tenants = mgr
+
+	if *continuous {
+		tickMs := int(tick.Milliseconds())
+		if tickMs < 1 {
+			tickMs = 1
+		}
+		// The bootstrap tenant reuses the daemon's scale and seed, so its
+		// world is the same topology and deployment as the control API's —
+		// but private, since netsim forbids event churn racing queries.
+		spec := tenant.Spec{
+			Scale:  *scale,
+			Seed:   *seed,
+			Budget: *budget,
+			TickMs: tickMs,
+			Chaos:  tenant.ChaosSpec{Profile: "default", Seed: *chaosSeed, Ticks: *chaosTicks},
+		}
+		if _, err := mgr.Apply("bootstrap", spec, 0); err != nil {
+			logger.Error("bootstrap tenant rejected", "err", err)
+			os.Exit(1)
+		}
+		// Build it before serving so the first scrape already sees it.
+		mgr.Reconcile()
+	}
 
 	st := env.Deploy.Stats()
 	logger.Info("ready",
@@ -111,133 +141,22 @@ func main() {
 		}
 	}()
 
-	stopContinuous := func() {}
-	if *continuous {
-		stopContinuous, err = startContinuous(env, srv.Obs(), tracer, logger,
-			*seed+1, *chaosSeed, *chaosTicks, *tick, *budget)
-		if err != nil {
-			logger.Error("continuous controller failed to start", "err", err)
-			os.Exit(1)
-		}
-	}
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	logger.Info("shutting down")
-	stopContinuous()
+	logger.Info("shutting down", "tenants", mgr.Store().Len())
+	// Snapshot the tenant registries before teardown so the final dump
+	// still carries their counters.
+	finalRegs := append([]*obs.Registry{srv.Obs(), env.World.Obs()}, mgr.Registries()...)
+	// Drain the reconcile loop and every tenant (in-flight syncs finish,
+	// final evaluations flush, one summary line per tenant) before the
+	// HTTP listener closes — scrapes during the drain still work.
+	mgr.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(ctx)
 	_ = srv.Close()
 	of.DumpTrace(tracer, logger)
 	// Final observability flush on stderr for log-harvesting supervisors.
-	_ = obs.DumpSnapshot(os.Stderr, srv.Obs(), env.World.Obs())
-}
-
-// startContinuous runs the event-driven re-solve controller on its own
-// goroutine and returns a stop function that halts the tick loop and
-// unsubscribes the controller. The controller gets a private same-seed
-// world: the control API queries env.World concurrently, and netsim
-// forbids ApplyEvent racing queries, so churn must stay off the shared
-// world. Controller metrics (core_repairs_total, core_repair_seconds,
-// ...) land in reg and are exposed on /metrics.
-func startContinuous(env *experiments.Env, reg *obs.Registry, tracer *span.Tracer,
-	logger *slog.Logger, worldSeed, chaosSeed int64, ticks int,
-	interval time.Duration, budget int) (func(), error) {
-	if budget <= 0 {
-		budget = env.Budgets([]float64{0.1})[0]
-		if budget < 5 {
-			budget = 5
-		}
-	}
-	w, err := netsim.New(env.Graph, env.Deploy, worldSeed)
-	if err != nil {
-		return nil, fmt.Errorf("continuous world: %w", err)
-	}
-	p := core.DefaultParams(budget)
-	p.Obs = reg
-	p.Trace = tracer
-	ctrl, err := core.NewController(w, env.AllUGs, core.ControllerParams{Solver: p})
-	if err != nil {
-		return nil, fmt.Errorf("continuous controller: %w", err)
-	}
-
-	gc := chaos.DefaultGenConfig(chaosSeed)
-	gc.Ticks = ticks
-	sched, err := chaos.Generate(env.Graph, env.Deploy, gc)
-	if err != nil {
-		ctrl.Stop()
-		return nil, fmt.Errorf("continuous schedule: %w", err)
-	}
-	byTick := make(map[int][]netsim.Event)
-	maxTick := 0
-	for _, se := range sched {
-		byTick[se.Tick] = append(byTick[se.Tick], se.Ev)
-		if se.Tick > maxTick {
-			maxTick = se.Tick
-		}
-	}
-	logger.Info("continuous controller started",
-		"budget", budget, "prefixes", len(ctrl.Config().Prefixes),
-		"schedule_events", len(sched), "ticks", maxTick+1, "tick", interval)
-
-	done := make(chan struct{})
-	finished := make(chan struct{})
-	go func() {
-		defer close(finished)
-		tk := time.NewTicker(interval)
-		defer tk.Stop()
-		for t := 0; t <= maxTick; t++ {
-			select {
-			case <-done:
-				return
-			case <-tk.C:
-			}
-			for _, ev := range byTick[t] {
-				if err := w.ApplyEvent(ev); err != nil {
-					logger.Error("continuous event failed", "tick", t, "event", ev.String(), "err", err)
-					return
-				}
-			}
-			cfg, rep, err := ctrl.Sync()
-			if err != nil {
-				logger.Error("continuous sync failed", "tick", t, "err", err)
-				return
-			}
-			if rep.Events == 0 {
-				continue
-			}
-			outcome := "noop"
-			switch {
-			case rep.FullSolve:
-				outcome = "full-solve"
-			case rep.Repaired:
-				outcome = "repair"
-			}
-			logger.Info("continuous sync",
-				"tick", t, "events", rep.Events, "outcome", outcome,
-				"dirty", len(rep.Dirty), "dirty_frac", fmt.Sprintf("%.2f", rep.DirtyFraction),
-				"anycast_changed", rep.AnycastChanged, "prefixes", len(cfg.Prefixes))
-		}
-		// The schedule ends with FinalRecovery, so the world is healthy:
-		// report the converged config's ground-truth benefit.
-		ev, err := core.Evaluate(w, env.AllUGs, ctrl.Config())
-		if err != nil {
-			logger.Error("continuous final evaluation failed", "err", err)
-			return
-		}
-		logger.Info("continuous schedule complete",
-			"benefit", fmt.Sprintf("%.3f", ev.Benefit),
-			"prefixes", len(ctrl.Config().Prefixes))
-	}()
-
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			close(done)
-			<-finished
-			ctrl.Stop()
-		})
-	}, nil
+	_ = obs.DumpSnapshot(os.Stderr, finalRegs...)
 }

@@ -7,8 +7,12 @@
 //	GET  /config    current configuration (prefix → peerings)
 //	GET  /evaluate  ground-truth benefit of the current configuration
 //	GET  /reports   per-iteration learning reports
-//	GET  /metrics   Prometheus text exposition (orchestrator + netsim)
+//	GET  /metrics   Prometheus text exposition (orchestrator + netsim +
+//	                every tenant's registries, labeled tenant="<id>")
 //	GET  /debug/obs merged obs snapshot as JSON
+//
+// When Server.Tenants is set, the multi-tenant control plane mounts
+// under /tenants (see tenants.go for the route list).
 package controlapi
 
 import (
@@ -26,6 +30,7 @@ import (
 	"painter/internal/experiments"
 	"painter/internal/obs"
 	"painter/internal/obs/span"
+	"painter/internal/tenant"
 )
 
 // Server holds the orchestrator state behind the HTTP API.
@@ -43,6 +48,10 @@ type Server struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler
 	// when true. Set before Handler().
 	Pprof bool
+	// Tenants, when non-nil, mounts the multi-tenant control plane
+	// under /tenants and merges every tenant's registries into /metrics
+	// and /debug/obs on each scrape. Set before Handler().
+	Tenants *tenant.Manager
 	// obs is the server's metric registry: solve-loop and propagate
 	// metrics land here; /metrics also merges the world's registry.
 	obs *obs.Registry
@@ -79,12 +88,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /config", s.handleConfig)
 	mux.HandleFunc("GET /evaluate", s.handleEvaluate)
 	mux.HandleFunc("GET /reports", s.handleReports)
-	regs := []*obs.Registry{s.obs}
-	if s.Env != nil && s.Env.World != nil {
-		regs = append(regs, s.Env.World.Obs())
+	// The registry list is re-collected on every scrape: tenants come
+	// and go at runtime, and each brings registries of its own.
+	regs := func() []*obs.Registry {
+		out := []*obs.Registry{s.obs}
+		if s.Env != nil && s.Env.World != nil {
+			out = append(out, s.Env.World.Obs())
+		}
+		if s.Tenants != nil {
+			out = append(out, s.Tenants.Registries()...)
+		}
+		return out
 	}
-	mux.Handle("GET /metrics", obs.Handler(regs...))
-	mux.Handle("GET /debug/obs", obs.JSONHandler(regs...))
+	mux.Handle("GET /metrics", obs.DynamicHandler(regs))
+	mux.Handle("GET /debug/obs", obs.DynamicJSONHandler(regs))
+	if s.Tenants != nil {
+		mux.HandleFunc("GET /tenants", s.handleTenantsList)
+		mux.HandleFunc("PUT /tenants/{id}", s.handleTenantPut)
+		mux.HandleFunc("GET /tenants/{id}", s.handleTenantGet)
+		mux.HandleFunc("DELETE /tenants/{id}", s.handleTenantDelete)
+		mux.HandleFunc("GET /tenants/{id}/status", s.handleTenantStatus)
+		mux.HandleFunc("GET /tenants/{id}/reports", s.handleTenantReports)
+	}
 	mux.Handle("GET /debug/trace", span.Handler(s.Trace))
 	if s.Pprof {
 		obs.MountPprof(mux)

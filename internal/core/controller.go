@@ -174,6 +174,27 @@ func (c *Controller) Config() Config { return c.cfg.Clone() }
 // the controller's refreshed model).
 func (c *Controller) Orchestrator() *Orchestrator { return c.o }
 
+// Budget returns the current prefix budget.
+func (c *Controller) Budget() int { return c.o.params.PrefixBudget }
+
+// SetBudget changes the prefix budget and immediately recomputes the
+// configuration from scratch under the new budget, returning it. A
+// budget change moves the greedy allocator's stopping point, not its
+// per-prefix inputs, so warm-reuse caches stay valid. Like Sync, it
+// must be called from the same cadence that applies world events —
+// never concurrently with ApplyEvent/SetDay or another Sync.
+func (c *Controller) SetBudget(budget int) (Config, error) {
+	if budget < 1 {
+		return Config{}, fmt.Errorf("core: SetBudget: budget must be >= 1, got %d", budget)
+	}
+	if budget == c.o.params.PrefixBudget {
+		return c.cfg.Clone(), nil
+	}
+	c.o.params.PrefixBudget = budget
+	c.cfg = c.o.computeConfig(nil, c.live, c.dark)
+	return c.cfg.Clone(), nil
+}
+
 // Stop unsubscribes from the world. Idempotent.
 func (c *Controller) Stop() {
 	if c.cancel != nil {

@@ -29,11 +29,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.kind)
 		}
+		labels := r.exposeLabels(e.labels)
 		switch e.kind {
 		case kindCounter:
-			fmt.Fprintf(bw, "%s %d\n", instanceName(e.name, e.labels), e.counter.Value())
+			fmt.Fprintf(bw, "%s %d\n", instanceName(e.name, labels), e.counter.Value())
 		case kindGauge:
-			fmt.Fprintf(bw, "%s %s\n", instanceName(e.name, e.labels), fmtFloat(e.gauge.Value()))
+			fmt.Fprintf(bw, "%s %s\n", instanceName(e.name, labels), fmtFloat(e.gauge.Value()))
 		case kindGaugeFunc:
 			r.mu.Lock()
 			fn := e.gfn
@@ -42,9 +43,9 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			if fn != nil {
 				v = fn()
 			}
-			fmt.Fprintf(bw, "%s %s\n", instanceName(e.name, e.labels), fmtFloat(v))
+			fmt.Fprintf(bw, "%s %s\n", instanceName(e.name, labels), fmtFloat(v))
 		case kindHistogram:
-			writePromHistogram(bw, e)
+			writePromHistogram(bw, e, labels)
 		}
 	}
 	return bw.Flush()
@@ -69,7 +70,7 @@ func fmtFloat(v float64) string {
 
 // writePromHistogram emits cumulative le-buckets (only octave
 // boundaries that hold observations, plus +Inf), _sum, and _count.
-func writePromHistogram(w io.Writer, e *entry) {
+func writePromHistogram(w io.Writer, e *entry, labels []Label) {
 	s := e.hist.Snapshot()
 	cum := uint64(0)
 	for i, n := range s.Buckets {
@@ -77,11 +78,11 @@ func writePromHistogram(w io.Writer, e *entry) {
 		if n == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%s %d\n", withLE(e.name, e.labels, fmtFloat(bucketUpper(i))), cum)
+		fmt.Fprintf(w, "%s %d\n", withLE(e.name, labels, fmtFloat(bucketUpper(i))), cum)
 	}
-	fmt.Fprintf(w, "%s %d\n", withLE(e.name, e.labels, "+Inf"), s.Count)
-	fmt.Fprintf(w, "%s %s\n", instanceName(e.name+"_sum", e.labels), fmtFloat(s.Sum))
-	fmt.Fprintf(w, "%s %d\n", instanceName(e.name+"_count", e.labels), s.Count)
+	fmt.Fprintf(w, "%s %d\n", withLE(e.name, labels, "+Inf"), s.Count)
+	fmt.Fprintf(w, "%s %s\n", instanceName(e.name+"_sum", labels), fmtFloat(s.Sum))
+	fmt.Fprintf(w, "%s %d\n", instanceName(e.name+"_count", labels), s.Count)
 }
 
 // RegistrySnapshot is the JSON shape served by /debug/obs: plain maps
@@ -104,23 +105,24 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		return s
 	}
 	for _, e := range r.snapshotEntries() {
+		key := renderKey(e.name, r.exposeLabels(e.labels))
 		switch e.kind {
 		case kindCounter:
-			s.Counters[e.key] = e.counter.Value()
+			s.Counters[key] = e.counter.Value()
 		case kindGauge:
-			s.Gauges[e.key] = e.gauge.Value()
+			s.Gauges[key] = e.gauge.Value()
 		case kindGaugeFunc:
 			r.mu.Lock()
 			fn := e.gfn
 			r.mu.Unlock()
 			if fn != nil {
-				s.Gauges[e.key] = fn()
+				s.Gauges[key] = fn()
 			} else {
-				s.Gauges[e.key] = 0
+				s.Gauges[key] = 0
 			}
 		case kindHistogram:
 			hs := e.hist.Snapshot()
-			s.Histograms[e.key] = hs.Summary()
+			s.Histograms[key] = hs.Summary()
 		}
 	}
 	return s
@@ -180,6 +182,23 @@ func JSONHandler(regs ...*Registry) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(MergeSnapshots(snaps...))
+	})
+}
+
+// DynamicHandler is Handler with the registry list re-evaluated on
+// every scrape — the exposition surface for processes whose registry
+// set changes at runtime (tenant add/remove in painterd).
+func DynamicHandler(regs func() []*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		Handler(regs()...).ServeHTTP(w, req)
+	})
+}
+
+// DynamicJSONHandler is JSONHandler with the registry list re-evaluated
+// on every request.
+func DynamicJSONHandler(regs func() []*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		JSONHandler(regs()...).ServeHTTP(w, req)
 	})
 }
 

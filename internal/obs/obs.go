@@ -137,6 +137,10 @@ type Registry struct {
 	mu      sync.Mutex
 	entries []*entry          // registration order, for stable exposition
 	byKey   map[string]*entry // key -> entry
+	// base labels are appended to every instance at exposition time
+	// (WriteProm, Snapshot); instrumented code never sees them. They
+	// scope a whole registry — e.g. tenant="x" on a tenant's world.
+	base []Label
 }
 
 // NewRegistry returns an empty registry.
@@ -245,6 +249,65 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	return r.lookup(name, help, kindHistogram, labels, func(e *entry) {
 		e.hist = NewHistogram()
 	}).hist
+}
+
+// SetBaseLabels sets labels stamped onto every metric instance of this
+// registry at exposition time. Instrument registration is unaffected
+// (the same entries are returned with or without base labels), so it
+// may be called after instruments exist — typically once, right after
+// the registry's owner learns its identity. An entry's own label with
+// the same key wins over a base label. No-op on a nil registry.
+func (r *Registry) SetBaseLabels(labels ...Label) {
+	if r == nil {
+		return
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	r.mu.Lock()
+	r.base = ls
+	r.mu.Unlock()
+}
+
+// BaseLabels returns a copy of the registry's base labels (nil when
+// unset or on a nil registry).
+func (r *Registry) BaseLabels() []Label {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.base) == 0 {
+		return nil
+	}
+	out := make([]Label, len(r.base))
+	copy(out, r.base)
+	return out
+}
+
+// exposeLabels merges the registry's base labels with an entry's own
+// labels, entry labels winning on key collision.
+func (r *Registry) exposeLabels(ls []Label) []Label {
+	r.mu.Lock()
+	base := r.base
+	r.mu.Unlock()
+	if len(base) == 0 {
+		return ls
+	}
+	out := make([]Label, 0, len(base)+len(ls))
+	for _, b := range base {
+		shadowed := false
+		for _, l := range ls {
+			if l.Key == b.Key {
+				shadowed = true
+				break
+			}
+		}
+		if !shadowed {
+			out = append(out, b)
+		}
+	}
+	return append(out, ls...)
 }
 
 // snapshotEntries returns a stable copy of the entry slice.

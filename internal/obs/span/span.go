@@ -83,6 +83,9 @@ type Tracer struct {
 	clock   func() int64
 	rec     *Recorder
 	process string
+	// base attrs are stamped onto every span this tracer mints (set by
+	// Derive; empty on tracers built with New).
+	base []Attr
 }
 
 // New builds a Tracer, or nil under -tags obsstrip (every method is
@@ -105,6 +108,29 @@ func New(cfg Config) *Tracer {
 	}
 	t.idState.Store(cfg.Seed)
 	return t
+}
+
+// Derive returns a tracer that shares t's flight recorder, process
+// name, clock, and sampling rate, but draws span IDs from its own
+// stream (seeded by seed) and stamps every span it mints with attrs —
+// the per-tenant tracing handle: N derived tracers feed one
+// /debug/trace surface with each tenant's spans labeled. The seed must
+// differ per derived tracer so ID streams do not collide; the caller
+// picks it deterministically (a hash of the tenant ID). Nil-safe: a nil
+// receiver derives a nil (no-op) tracer.
+func (t *Tracer) Derive(seed uint64, attrs ...Attr) *Tracer {
+	if t == nil {
+		return nil
+	}
+	d := &Tracer{
+		sample:  t.sample,
+		clock:   t.clock,
+		rec:     t.rec,
+		process: t.process,
+		base:    append([]Attr(nil), attrs...),
+	}
+	d.idState.Store(seed)
+	return d
 }
 
 // nextID draws the next nonzero ID from the seeded stream.
@@ -168,6 +194,7 @@ func (t *Tracer) newSpan(name string, traceID, spanID, parentID uint64, attrs []
 		parentID: parentID,
 		startNs:  t.clock(),
 	}
+	s.attrs = append(s.attrs, t.base...)
 	s.attrs = append(s.attrs, attrs...)
 	return s
 }

@@ -1,0 +1,149 @@
+package smoke
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// putTenantSpec PUTs a tenant spec and returns the response code.
+func putTenantSpec(t *testing.T, base, id string, spec map[string]any) int {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("PUT", base+"/tenants/"+id, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestTenantsSmoke boots painterd, PUTs two tenants with different
+// chaos seeds, waits for both to appear as tenant label values on
+// /metrics, deletes one while the other keeps churning, and asserts a
+// graceful SIGTERM shutdown with per-tenant summary lines.
+func TestTenantsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test")
+	}
+	root := repoRoot(t)
+	dir := t.TempDir()
+	pdBin := buildBinary(t, root, dir, "cmd/painterd")
+
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	base := "http://" + addr
+	pd := startDaemon(t, "painterd", pdBin, "-listen", addr, "-scale", "small", "-seed", "3")
+	scrapeMetrics(t, pd, base+"/metrics") // wait until serving
+
+	mk := func(chaosSeed int64) map[string]any {
+		return map[string]any{
+			"scale": "small", "seed": 5, "tick_ms": 20,
+			"chaos": map[string]any{"profile": "default", "seed": chaosSeed, "ticks": 60},
+		}
+	}
+	if code := putTenantSpec(t, base, "red", mk(1)); code != http.StatusCreated {
+		t.Fatalf("PUT red = %d", code)
+	}
+	if code := putTenantSpec(t, base, "blue", mk(99)); code != http.StatusCreated {
+		t.Fatalf("PUT blue = %d", code)
+	}
+	// A rejected spec must come back with field-level errors.
+	if code := putTenantSpec(t, base, "bad", map[string]any{"scale": "galactic", "tick_ms": 0}); code != http.StatusBadRequest {
+		t.Errorf("PUT bad spec = %d, want 400", code)
+	}
+
+	// Both tenants must show up as label values on /metrics, with their
+	// controllers actually syncing.
+	hasTenant := func(samples map[string]float64, id string) bool {
+		for series := range samples {
+			if strings.Contains(series, `tenant="`+id+`"`) {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var samples map[string]float64
+	for time.Now().Before(deadline) {
+		samples = scrapeMetrics(t, pd, base+"/metrics")
+		if hasTenant(samples, "red") && hasTenant(samples, "blue") &&
+			samples[`core_controller_events_total{tenant="red"}`] > 0 &&
+			samples[`core_controller_events_total{tenant="blue"}`] > 0 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !hasTenant(samples, "red") || !hasTenant(samples, "blue") {
+		t.Fatalf("tenant labels missing from /metrics")
+	}
+	if samples[`core_controller_events_total{tenant="red"}`] == 0 ||
+		samples[`core_controller_events_total{tenant="blue"}`] == 0 {
+		t.Fatalf("tenant controllers processed no events: %v", samples)
+	}
+
+	// Delete red while blue is still under schedule load.
+	req, err := http.NewRequest("DELETE", base+"/tenants/red", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE red = %d", resp.StatusCode)
+	}
+	// Its label values must drop off the exposition once reconciled.
+	deadline = time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		samples = scrapeMetrics(t, pd, base+"/metrics")
+		if !hasTenant(samples, "red") {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if hasTenant(samples, "red") {
+		t.Error("deleted tenant still exposed on /metrics")
+	}
+	if !hasTenant(samples, "blue") {
+		t.Error("surviving tenant vanished from /metrics")
+	}
+
+	// /tenants/blue/status keeps serving while blue churns.
+	resp, err = http.Get(base + "/tenants/blue/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Phase string `json:"phase"`
+		Syncs uint64 `json:"syncs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if err != nil || status.Phase != "Running" {
+		t.Errorf("blue status = %+v err=%v", status, err)
+	}
+
+	pd.stopGracefully(t)
+	out := pd.out.String()
+	// The removed tenant logged its summary at delete time; the survivor
+	// logs one during shutdown.
+	for _, id := range []string{"red", "blue"} {
+		if !strings.Contains(out, "tenant summary") || !strings.Contains(out, "tenant="+id) {
+			t.Errorf("missing per-tenant summary for %s in shutdown output:\n%s", id, out)
+			break
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package tenant
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"painter/internal/core"
+	"painter/internal/obs"
+	"painter/internal/obs/span"
+)
+
+// Params tunes a Manager.
+type Params struct {
+	// Logger receives tenant lifecycle lines; nil means slog.Default().
+	Logger *slog.Logger
+	// Trace is the parent tracer tenants derive their labeled tracers
+	// from (nil disables tracing — everything stays nil-safe).
+	Trace *span.Tracer
+	// ReconcileInterval is the background reconcile cadence (default
+	// 200ms). Writes through Apply/Remove also kick an immediate pass,
+	// so the interval only bounds convergence after direct Store edits.
+	ReconcileInterval time.Duration
+}
+
+// Manager converges actual tenant runtimes to the desired state in its
+// Store. One background goroutine runs the reconcile loop; everything
+// else (HTTP handlers, tests, the bench) talks to the Manager through
+// the thread-safe accessors.
+type Manager struct {
+	store  *Store
+	logger *slog.Logger
+	trace  *span.Tracer
+
+	// recMu serializes reconcile passes (the background loop and any
+	// direct Reconcile callers), so tenant create/teardown never races
+	// with itself.
+	recMu sync.Mutex
+
+	mu        sync.Mutex
+	instances map[string]*instance
+	closed    bool
+
+	kick     chan struct{}
+	stop     chan struct{}
+	loopDone chan struct{}
+
+	reg          *obs.Registry
+	reconciles   *obs.Counter
+	creates      *obs.Counter
+	inPlaceUpds  *obs.Counter
+	rebuilds     *obs.Counter
+	removes      *obs.Counter
+	failures     *obs.Counter
+	specsGauge   *obs.Gauge
+	runningGauge *obs.Gauge
+	buildSecs    *obs.Histogram
+}
+
+// NewManager builds a Manager with an empty store and starts its
+// reconcile loop. Callers must Close it.
+func NewManager(p Params) *Manager {
+	if p.Logger == nil {
+		p.Logger = slog.Default()
+	}
+	if p.ReconcileInterval <= 0 {
+		p.ReconcileInterval = 200 * time.Millisecond
+	}
+	reg := obs.NewRegistry()
+	m := &Manager{
+		store:     NewStore(),
+		logger:    p.Logger,
+		trace:     p.Trace,
+		instances: make(map[string]*instance),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		reg:       reg,
+		reconciles: reg.Counter("tenant_reconciles_total",
+			"Reconcile passes run."),
+		creates: reg.Counter("tenant_creates_total",
+			"Tenant runtimes built (excluding rebuilds)."),
+		inPlaceUpds: reg.Counter("tenant_updates_inplace_total",
+			"Spec updates applied without a world rebuild."),
+		rebuilds: reg.Counter("tenant_updates_rebuild_total",
+			"Spec updates that tore down and rebuilt the world."),
+		removes: reg.Counter("tenant_removes_total",
+			"Tenant runtimes torn down because their spec was deleted."),
+		failures: reg.Counter("tenant_build_failures_total",
+			"Tenant builds that failed validation-passing specs at runtime."),
+		specsGauge: reg.Gauge("tenant_specs",
+			"Specs currently stored (desired state)."),
+		runningGauge: reg.Gauge("tenant_running",
+			"Tenant runtimes currently in phase Running or Paused."),
+		buildSecs: reg.Histogram("tenant_build_seconds",
+			"Wall time to build one tenant world + controller."),
+	}
+	go m.loop(p.ReconcileInterval)
+	return m
+}
+
+// Store exposes the desired-state store (for persistence or direct
+// inspection). Writers that bypass Apply/Remove should call Kick.
+func (m *Manager) Store() *Store { return m.store }
+
+// Apply validates and stores a spec (see Store.Put for the expect
+// semantics) and kicks an immediate reconcile.
+func (m *Manager) Apply(id string, spec Spec, expect int64) (Stored, error) {
+	st, err := m.store.Put(id, spec, expect)
+	if err != nil {
+		return Stored{}, err
+	}
+	m.Kick()
+	return st, nil
+}
+
+// Remove deletes a tenant's desired state, reporting whether it
+// existed, and kicks a reconcile to tear the runtime down.
+func (m *Manager) Remove(id string) bool {
+	ok := m.store.Delete(id)
+	if ok {
+		m.Kick()
+	}
+	return ok
+}
+
+// Kick schedules an immediate reconcile pass (coalescing with any
+// already pending).
+func (m *Manager) Kick() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) loop(interval time.Duration) {
+	defer close(m.loopDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.kick:
+		case <-t.C:
+		}
+		m.Reconcile()
+	}
+}
+
+// Reconcile runs one synchronous pass: tear down runtimes whose spec
+// vanished, build runtimes for new specs, and converge running tenants
+// whose observed generation trails the store — in place when only
+// mutable fields changed, by rebuild when the identity (scale, seed,
+// chaos) changed or the runtime is Failed. Safe to call concurrently
+// with the background loop; passes serialize.
+func (m *Manager) Reconcile() {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+
+	m.reconciles.Inc()
+	desired := m.store.List()
+	want := make(map[string]Stored, len(desired))
+	for _, st := range desired {
+		want[st.ID] = st
+	}
+
+	// Removals first: free the capacity before building new worlds.
+	m.mu.Lock()
+	var gone []*instance
+	for id, in := range m.instances {
+		if _, ok := want[id]; !ok {
+			gone = append(gone, in)
+			delete(m.instances, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(gone, func(i, j int) bool { return gone[i].id < gone[j].id })
+	for _, in := range gone {
+		m.teardown(in, "removed")
+		m.removes.Inc()
+	}
+
+	for _, st := range desired {
+		m.mu.Lock()
+		in := m.instances[st.ID]
+		m.mu.Unlock()
+		if in == nil {
+			in = m.create(st)
+			m.creates.Inc()
+			m.mu.Lock()
+			m.instances[st.ID] = in
+			m.mu.Unlock()
+			continue
+		}
+		in.mu.Lock()
+		curGen, curSpec, failed := in.gen, in.spec, in.phase == PhaseFailed
+		in.mu.Unlock()
+		if curGen == st.Generation {
+			continue
+		}
+		if failed || NeedsRebuild(curSpec, st.Spec) {
+			m.teardown(in, "rebuild")
+			nin := m.create(st)
+			m.rebuilds.Inc()
+			m.mu.Lock()
+			m.instances[st.ID] = nin
+			m.mu.Unlock()
+			continue
+		}
+		if err := in.applyInPlace(st); err != nil {
+			m.logger.Error("tenant in-place update failed", "tenant", st.ID, "err", err)
+			continue
+		}
+		m.inPlaceUpds.Inc()
+		m.logger.Info("tenant updated in place", "tenant", st.ID,
+			"generation", st.Generation)
+	}
+
+	m.specsGauge.Set(float64(m.store.Len()))
+	m.runningGauge.Set(float64(m.countHealthy()))
+}
+
+func (m *Manager) countHealthy() int {
+	m.mu.Lock()
+	ins := make([]*instance, 0, len(m.instances))
+	for _, in := range m.instances {
+		ins = append(ins, in)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, in := range ins {
+		in.mu.Lock()
+		if in.phase == PhaseRunning || in.phase == PhasePaused {
+			n++
+		}
+		in.mu.Unlock()
+	}
+	return n
+}
+
+// create builds a runtime for st and starts its tick loop; a build
+// error yields a Failed placeholder so status surfaces the cause.
+func (m *Manager) create(st Stored) *instance {
+	start := time.Now()
+	in, err := buildInstance(st, m.logger, m.trace)
+	m.buildSecs.Observe(time.Since(start).Seconds())
+	if err != nil {
+		m.failures.Inc()
+		m.logger.Error("tenant build failed", "tenant", st.ID, "err", err)
+		return failedInstance(st, m.logger, err)
+	}
+	m.logger.Info("tenant created", "tenant", st.ID,
+		"generation", st.Generation, "scale", in.spec.Scale,
+		"seed", in.spec.Seed, "budget", in.budget,
+		"chaos", in.spec.Chaos.Profile,
+		"schedule_ticks", in.maxTick+1,
+		"build_ms", time.Since(start).Milliseconds())
+	go in.loop()
+	return in
+}
+
+// teardown drains and stops one runtime, flushes its final evaluation,
+// and logs the one-line per-tenant summary.
+func (m *Manager) teardown(in *instance, reason string) {
+	in.close()
+	st := in.status()
+	benefit := st.FinalBenefitMs
+	if !st.ScheduleDone || benefit == 0 {
+		// Schedule still in flight (or no schedule): evaluate the
+		// config as it stands so the summary always carries a number.
+		if in.world != nil && in.ctrl != nil {
+			if ev, err := core.Evaluate(in.world, in.ugs, in.ctrl.Config()); err == nil {
+				benefit = ev.Benefit
+			}
+		}
+	}
+	m.logger.Info("tenant summary", "tenant", in.id, "reason", reason,
+		"phase", string(st.Phase), "generation", st.Generation,
+		"syncs", st.Syncs, "events", st.EventsApplied,
+		"repairs", st.Repairs, "full_solves", st.FullSolves,
+		"prefixes", st.Prefixes,
+		"benefit_ms", fmt.Sprintf("%.3f", benefit))
+}
+
+// Step advances one tenant a single tick synchronously — the
+// deterministic drive for tests and benchmarks. It works on paused
+// tenants too and serializes with the tenant's own tick loop.
+func (m *Manager) Step(id string) (core.SyncReport, error) {
+	m.mu.Lock()
+	in := m.instances[id]
+	m.mu.Unlock()
+	if in == nil {
+		return core.SyncReport{}, fmt.Errorf("tenant %q: no runtime (not yet reconciled or unknown)", id)
+	}
+	return in.step(true)
+}
+
+// Status returns one tenant's observed state.
+func (m *Manager) Status(id string) (Status, bool) {
+	m.mu.Lock()
+	in := m.instances[id]
+	m.mu.Unlock()
+	if in == nil {
+		return Status{}, false
+	}
+	return in.status(), true
+}
+
+// Statuses returns every runtime's observed state, sorted by ID.
+func (m *Manager) Statuses() []Status {
+	m.mu.Lock()
+	ins := make([]*instance, 0, len(m.instances))
+	for _, in := range m.instances {
+		ins = append(ins, in)
+	}
+	m.mu.Unlock()
+	out := make([]Status, 0, len(ins))
+	for _, in := range ins {
+		out = append(out, in.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Reports returns the tenant's bounded sync history.
+func (m *Manager) Reports(id string) ([]SyncRecord, bool) {
+	m.mu.Lock()
+	in := m.instances[id]
+	m.mu.Unlock()
+	if in == nil {
+		return nil, false
+	}
+	return in.syncReports(), true
+}
+
+// Config returns a copy of the tenant's current advertisement config.
+func (m *Manager) Config(id string) (core.Config, bool) {
+	m.mu.Lock()
+	in := m.instances[id]
+	m.mu.Unlock()
+	if in == nil {
+		return core.Config{}, false
+	}
+	return in.config(), true
+}
+
+// Registries returns every exposition registry the manager owns: its
+// own first, then each tenant's (controller registry, then world
+// registry), sorted by tenant ID. The control API scrapes this on
+// every /metrics request, so tenants appear and disappear from the
+// exposition as they are reconciled.
+func (m *Manager) Registries() []*obs.Registry {
+	m.mu.Lock()
+	ins := make([]*instance, 0, len(m.instances))
+	for _, in := range m.instances {
+		ins = append(ins, in)
+	}
+	m.mu.Unlock()
+	sort.Slice(ins, func(i, j int) bool { return ins[i].id < ins[j].id })
+	out := []*obs.Registry{m.reg}
+	for _, in := range ins {
+		out = append(out, in.registries()...)
+	}
+	return out
+}
+
+// Obs returns the manager's own registry (lifecycle counters).
+func (m *Manager) Obs() *obs.Registry { return m.reg }
+
+// Close stops the reconcile loop, then tears down every tenant —
+// draining in-flight Syncs, flushing final evaluations, and logging
+// one summary line per tenant. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	close(m.stop)
+	<-m.loopDone
+
+	// The loop is gone; take recMu to drain any direct Reconcile
+	// caller, then tear everything down.
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	m.mu.Lock()
+	ins := make([]*instance, 0, len(m.instances))
+	for _, in := range m.instances {
+		ins = append(ins, in)
+	}
+	m.instances = make(map[string]*instance)
+	m.mu.Unlock()
+	sort.Slice(ins, func(i, j int) bool { return ins[i].id < ins[j].id })
+	for _, in := range ins {
+		m.teardown(in, "shutdown")
+	}
+	m.runningGauge.Set(0)
+}
