@@ -49,7 +49,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -shuffle=on ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/obs/span/ ./internal/controlapi/ ./internal/usergroup/ ./internal/tenant/
+	$(GO) test -race -shuffle=on ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/obs/span/ ./internal/obs/history/ ./internal/obs/alert/ ./internal/controlapi/ ./internal/usergroup/ ./internal/tenant/
 
 # Short fuzzing smoke on the wire decoders: each target runs for
 # FUZZ_TIME (go test allows one -fuzz pattern per invocation).
@@ -60,11 +60,13 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseNotification -fuzztime=$(FUZZ_TIME) ./internal/bgp/
 	$(GO) test -run='^$$' -fuzz=FuzzParseHeader -fuzztime=$(FUZZ_TIME) ./internal/bgp/
 	$(GO) test -run='^$$' -fuzz=FuzzPropagateDelta -fuzztime=$(FUZZ_TIME) ./internal/bgp/
+	$(GO) test -run='^$$' -fuzz=FuzzParseRules -fuzztime=$(FUZZ_TIME) ./internal/obs/alert/
 
 # Coverage with a per-package floor for the failure-handling core and a
 # higher floor for the BGP engine.
 cover:
-	$(GO) test -coverprofile=coverage.out -covermode=atomic $(COVER_PKGS) $(COVER_PKGS_BGP) $(COVER_PKGS_TENANT)
+	@mkdir -p results
+	$(GO) test -coverprofile=results/coverage.out -covermode=atomic $(COVER_PKGS) $(COVER_PKGS_BGP) $(COVER_PKGS_TENANT)
 	@$(GO) test -cover $(COVER_PKGS) 2>/dev/null | awk -v floor=$(COVER_FLOOR) ' \
 		/coverage:/ { \
 			pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
@@ -106,13 +108,14 @@ bench-json:
 	$(GO) run ./cmd/painter-bench -exp delta -scale peering -delta-out BENCH_DELTA.json
 	$(GO) run ./cmd/painter-bench -exp scale -scale-out BENCH_SCALE.json
 	$(GO) run ./cmd/painter-bench -exp tenants -tenants-out BENCH_TENANTS.json
+	$(GO) run ./cmd/painter-bench -exp detect -detect-out BENCH_DETECT.json
 
 # Measure observability overhead on the propagation hot path: live obs
 # vs the no-op default, plus the -tags obsstrip compile-time-stripped
 # build. Both invocations merge into one BENCH_OBS.json.
 bench-obs:
 	rm -f BENCH_OBS.json
-	$(GO) run ./cmd/benchobs -modes noop,live,trace_off,trace_sampled,trace_full -out BENCH_OBS.json
+	$(GO) run ./cmd/benchobs -modes noop,live,history_on,trace_off,trace_sampled,trace_full -out BENCH_OBS.json
 	$(GO) run -tags obsstrip ./cmd/benchobs -modes stripped -out BENCH_OBS.json
 
 # Regenerate every table/figure at prototype (PEERING) scale.
@@ -127,4 +130,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out
+	rm -f coverage.out results/coverage.out

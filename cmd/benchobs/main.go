@@ -22,6 +22,8 @@ import (
 	"painter/internal/bgp"
 	"painter/internal/experiments"
 	"painter/internal/obs"
+	"painter/internal/obs/alert"
+	"painter/internal/obs/history"
 	"painter/internal/obs/span"
 )
 
@@ -34,8 +36,9 @@ type Result struct {
 }
 
 // Report is the BENCH_OBS.json schema. Modes maps "noop", "live",
-// "stripped", "trace_off", "trace_sampled", and "trace_full" to their
-// numbers; the overhead fields compare pairs once both are present.
+// "stripped", "history_on", "trace_off", "trace_sampled", and
+// "trace_full" to their numbers; the overhead fields compare pairs
+// once both are present.
 type Report struct {
 	benchmeta.Meta
 	Scale       string            `json:"scale"`
@@ -43,6 +46,10 @@ type Report struct {
 	TraceSample int               `json:"trace_sample"`
 	Modes       map[string]Result `json:"modes"`
 	OverheadPct float64           `json:"live_vs_noop_overhead_pct"`
+	// HistoryOnPct is the full observability pipeline — live counters,
+	// a history sample of every series, and an alert-engine eval — vs
+	// the no-op default (acceptance: ≤3%).
+	HistoryOnPct float64 `json:"history_on_vs_noop_overhead_pct"`
 	// TraceSampledPct is sampled tracing vs tracing off — the cost a
 	// production deployment pays (acceptance: ≤3%). TraceFullPct is the
 	// worst case with every propagate traced.
@@ -53,8 +60,9 @@ type Report struct {
 func main() {
 	out := flag.String("out", "BENCH_OBS.json", "output file (merged with existing modes)")
 	seed := flag.Int64("seed", 7, "environment seed")
-	modes := flag.String("modes", "noop,live", "comma-separated modes to run (noop, live, stripped, trace_off, trace_sampled, trace_full)")
+	modes := flag.String("modes", "noop,live", "comma-separated modes to run (noop, live, stripped, history_on, trace_off, trace_sampled, trace_full)")
 	sample := flag.Int("trace-sample", 64, "head-sampling rate for trace_sampled (1 in N)")
+	histEvery := flag.Int("history-every", 64, "ops per history sample+alert eval in history_on (mirrors one controller tick's worth of propagations)")
 	reps := flag.Int("reps", 5, "benchmark repetitions per mode (best-of)")
 	flag.Parse()
 
@@ -125,6 +133,38 @@ func main() {
 		case "noop", "stripped":
 		case "live":
 			bm.reg = obs.NewRegistry()
+		case "history_on":
+			// Full pipeline: live counters on every op, plus a history
+			// sample of every series and an alert-engine eval once per
+			// -history-every ops — the production shape, where sampling
+			// happens once per controller tick and a tick spans many
+			// propagations.
+			reg := obs.NewRegistry()
+			bm.reg = reg
+			hist := history.New(history.Config{
+				Regs: func() []*obs.Registry { return []*obs.Registry{reg} },
+			})
+			eng := alert.NewEngine(hist, []alert.Rule{
+				{Name: "bench_latency", Kind: alert.KindThreshold,
+					Series: "bgp_propagate_seconds_p99*", Window: 8, For: 2,
+					Op: alert.OpGT, Value: 1e12, Agg: alert.AggMax},
+				{Name: "bench_drift", Kind: alert.KindEWMA,
+					Series: "bgp_propagate_settled_p99*",
+					Band:   1e12, Alpha: 0.2, MinSamples: 4},
+			}, alert.Options{})
+			ops, every := 0, *histEvery
+			if every < 1 {
+				every = 1
+			}
+			bm.op = func() error {
+				if err := plain(); err != nil {
+					return err
+				}
+				if ops++; ops%every == 0 {
+					eng.Eval(hist.Sample())
+				}
+				return nil
+			}
 		case "trace_off":
 			bm.op = traced(nil)
 		case "trace_sampled":
@@ -172,6 +212,10 @@ func main() {
 	if pct, ok := overhead("noop", "live"); ok {
 		rep.OverheadPct = pct
 		fmt.Printf("live vs noop overhead: %+.2f%%\n", pct)
+	}
+	if pct, ok := overhead("noop", "history_on"); ok {
+		rep.HistoryOnPct = pct
+		fmt.Printf("history+alerts vs noop overhead: %+.2f%%\n", pct)
 	}
 	if pct, ok := overhead("trace_off", "trace_sampled"); ok {
 		rep.TraceSampledPct = pct

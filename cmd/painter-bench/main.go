@@ -46,6 +46,9 @@ type runCtx struct {
 	// tenantsOut, when set, makes the tenants experiment write its
 	// result as JSON (BENCH_TENANTS.json).
 	tenantsOut string
+	// detectOut, when set, makes the detect experiment write its result
+	// as JSON (BENCH_DETECT.json).
+	detectOut string
 	// workers is the solver worker count for the scale sweep.
 	workers int
 	// fig6aRows is cached so fig14 (a re-projection of the same sweep)
@@ -250,6 +253,21 @@ var experimentList = []experiment{
 		}
 		return nil
 	}},
+	{"detect", "catchment-drift detection latency under PoP outages (twin-run determinism check)", true, true, func(c *runCtx) error {
+		res, err := experiments.RunDetectBench(c.env, experiments.DetectBenchConfig{Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		if c.detectOut != "" {
+			res.Meta = benchmeta.Collect()
+			if err := res.WriteJSON(c.detectOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", c.detectOut)
+		}
+		return nil
+	}},
 	{"scale", "solve wall-clock and memory across small/peering/azure", false, true, func(c *runCtx) error {
 		rep, err := experiments.RunScaleBench(experiments.ScaleBenchConfig{
 			Seed: c.seed, Workers: c.workers,
@@ -306,6 +324,7 @@ func main() {
 		scOut   = flag.String("scale-out", "", "write the scale experiment's result as JSON to this file")
 		dltOut  = flag.String("delta-out", "", "write the delta experiment's result as JSON to this file")
 		tntOut  = flag.String("tenants-out", "", "write the tenants experiment's result as JSON to this file")
+		detOut  = flag.String("detect-out", "", "write the detect experiment's result as JSON to this file")
 		workers = flag.Int("workers", 0, "solver worker count for the scale sweep (0 = GOMAXPROCS)")
 		skip    = flag.Bool("skip-slow", false, "skip solver-sweep experiments (explicit SKIP lines)")
 		budget  = flag.Duration("time-budget", 0, "stop starting new experiments once this much wall time has elapsed (0 = unlimited)")
@@ -365,7 +384,8 @@ func main() {
 	}
 
 	ctx := &runCtx{seed: *seed, iters: *iters, resolveOut: *resOut,
-		scaleOut: *scOut, deltaOut: *dltOut, tenantsOut: *tntOut, workers: *workers}
+		scaleOut: *scOut, deltaOut: *dltOut, tenantsOut: *tntOut,
+		detectOut: *detOut, workers: *workers}
 	needEnv := false
 	for _, e := range experimentList {
 		if e.needsEnv && want(e.id) && !(*skip && e.slow) {

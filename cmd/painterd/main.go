@@ -50,6 +50,7 @@ import (
 	"painter/internal/daemon"
 	"painter/internal/experiments"
 	"painter/internal/obs"
+	"painter/internal/obs/alert"
 	"painter/internal/tenant"
 )
 
@@ -145,9 +146,11 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	logger.Info("shutting down", "tenants", mgr.Store().Len())
-	// Snapshot the tenant registries before teardown so the final dump
-	// still carries their counters.
+	// Snapshot the tenant registries AND alert states before teardown:
+	// Close() force-resolves every alert, so what was firing at the
+	// moment of the signal is only visible from this capture.
 	finalRegs := append([]*obs.Registry{srv.Obs(), env.World.Obs()}, mgr.Registries()...)
+	finalAlerts := mgr.Alerts()
 	// Drain the reconcile loop and every tenant (in-flight syncs finish,
 	// final evaluations flush, one summary line per tenant) before the
 	// HTTP listener closes — scrapes during the drain still work.
@@ -157,6 +160,16 @@ func main() {
 	_ = hs.Shutdown(ctx)
 	_ = srv.Close()
 	of.DumpTrace(tracer, logger)
-	// Final observability flush on stderr for log-harvesting supervisors.
+	// Final observability flush on stderr for log-harvesting supervisors:
+	// tenant counters plus whatever alerts were live when the signal hit.
 	_ = obs.DumpSnapshot(os.Stderr, finalRegs...)
+	for _, ta := range finalAlerts {
+		for _, sv := range ta.States {
+			if sv.State != alert.StateFiring && sv.State != alert.StatePending {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "alert tenant=%s rule=%s series=%s state=%s since_tick=%d value=%g\n",
+				ta.Tenant, sv.Rule, sv.Series, sv.State, sv.SinceTick, sv.Value)
+		}
+	}
 }

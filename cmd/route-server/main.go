@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -18,16 +19,18 @@ import (
 	"painter/internal/bgp"
 	"painter/internal/daemon"
 	"painter/internal/obs"
+	"painter/internal/obs/history"
 	"painter/internal/routeserver"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:1790", "BGP listen address")
-		localAS = flag.Uint("as", 64999, "local AS number")
-		damping = flag.Bool("damping", true, "enable RFC 2439 route-flap damping")
-		logIv   = flag.Duration("log-interval", 10*time.Second, "RIB summary logging interval (0 = off)")
-		metrics = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/trace (empty = off)")
+		listen   = flag.String("listen", "127.0.0.1:1790", "BGP listen address")
+		localAS  = flag.Uint("as", 64999, "local AS number")
+		damping  = flag.Bool("damping", true, "enable RFC 2439 route-flap damping")
+		logIv    = flag.Duration("log-interval", 10*time.Second, "RIB summary logging interval (0 = off)")
+		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/obs/history, /debug/trace (empty = off)")
+		sampleIv = flag.Duration("history-interval", time.Second, "time-series history sampling cadence")
 	)
 	of := daemon.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -63,10 +66,27 @@ func main() {
 	logger.Info("listening", "as", *localAS, "addr", srv.Addr(),
 		"damping", *damping, "tracing", tracer != nil)
 
+	// Time-series history: sample the registry on a fixed cadence so
+	// /debug/obs/history serves windowed churn counters (update/withdraw
+	// rates over the ring, not just totals).
+	hist := history.New(history.Config{
+		Regs: func() []*obs.Registry { return []*obs.Registry{reg} },
+	})
+	go func() {
+		t := time.NewTicker(*sampleIv)
+		defer t.Stop()
+		for range t.C {
+			hist.Sample()
+		}
+	}()
+
 	var ms *obs.MetricsServer
 	if *metrics != "" {
 		ms, err = obs.StartServerWith(*metrics, obs.MuxConfig{
 			Regs: []*obs.Registry{reg}, Trace: tracer, Pprof: of.Pprof,
+			Extra: map[string]http.Handler{
+				"/debug/obs/history": history.StoreHandler(hist),
+			},
 		})
 		if err != nil {
 			_ = srv.Close()

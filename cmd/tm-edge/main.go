@@ -29,8 +29,12 @@ import (
 	"syscall"
 	"time"
 
+	"net/http"
+
 	"painter/internal/daemon"
 	"painter/internal/obs"
+	"painter/internal/obs/alert"
+	"painter/internal/obs/history"
 	"painter/internal/tm"
 	"painter/internal/tmproto"
 )
@@ -68,7 +72,8 @@ func main() {
 		probeIv  = flag.Duration("probe-interval", 50*time.Millisecond, "probe cadence per destination")
 		demo     = flag.Bool("demo", false, "send a demo flow and print per-second status")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
-		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/trace (empty = off)")
+		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/obs/history, /alerts, /debug/trace (empty = off)")
+		sampleIv = flag.Duration("history-interval", time.Second, "history sampling and alert evaluation cadence")
 	)
 	flag.Var(&dests, "dest", "tunnel destination (addr:port,popid[,anycast]); repeatable")
 	of := daemon.RegisterFlags(flag.CommandLine)
@@ -140,10 +145,24 @@ func main() {
 	logger.Info("up", "addr", edge.Addr(), "destinations", len(edge.Status()),
 		"tracing", tracer != nil)
 
+	// History + blackout detection: sample the registry on a fixed
+	// cadence and judge the probe-blackout rule over the counters —
+	// replies flatlining while sends advance means every destination
+	// went silent at once.
+	hist := history.New(history.Config{
+		Regs: func() []*obs.Registry { return []*obs.Registry{reg} },
+	})
+	eng := alert.NewEngine(hist, []alert.Rule{alert.ProbeBlackoutRule(5, 2)},
+		alert.Options{Logger: logger, Tracer: tracer})
+
 	var ms *obs.MetricsServer
 	if *metrics != "" {
 		ms, err = obs.StartServerWith(*metrics, obs.MuxConfig{
 			Regs: []*obs.Registry{reg}, Trace: tracer, Pprof: of.Pprof,
+			Extra: map[string]http.Handler{
+				"/debug/obs/history": history.StoreHandler(hist),
+				"/alerts":            alert.StatesHandler(eng),
+			},
 		})
 		if err != nil {
 			logger.Error("metrics listen failed", "err", err)
@@ -153,6 +172,18 @@ func main() {
 	}
 
 	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(*sampleIv)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				eng.Eval(hist.Sample())
+			}
+		}
+	}()
 	if *duration > 0 {
 		go func() { time.Sleep(*duration); close(stop) }()
 	}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -23,6 +24,7 @@ import (
 
 	"painter/internal/daemon"
 	"painter/internal/obs"
+	"painter/internal/obs/history"
 	"painter/internal/tm"
 	"painter/internal/tmproto"
 )
@@ -55,11 +57,12 @@ func (d *destList) Set(v string) error {
 func main() {
 	var dests destList
 	var (
-		listen  = flag.String("listen", "127.0.0.1:4000", "UDP listen address")
-		popID   = flag.Uint("pop-id", 1, "PoP identifier")
-		flowTTL = flag.Duration("flow-ttl", 5*time.Minute, "idle flow retention")
-		statsIv = flag.Duration("stats-interval", 10*time.Second, "stats logging interval (0 = off)")
-		metrics = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/trace (empty = off)")
+		listen   = flag.String("listen", "127.0.0.1:4000", "UDP listen address")
+		popID    = flag.Uint("pop-id", 1, "PoP identifier")
+		flowTTL  = flag.Duration("flow-ttl", 5*time.Minute, "idle flow retention")
+		statsIv  = flag.Duration("stats-interval", 10*time.Second, "stats logging interval (0 = off)")
+		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/obs/history, /debug/trace (empty = off)")
+		sampleIv = flag.Duration("history-interval", time.Second, "time-series history sampling cadence")
 	)
 	flag.Var(&dests, "dest", "destination to advertise to edges (addr:port,popid[,anycast]); repeatable")
 	of := daemon.RegisterFlags(flag.CommandLine)
@@ -88,10 +91,26 @@ func main() {
 	logger.Info("listening", "pop", *popID, "addr", pop.Addr(),
 		"destinations", len(dests), "tracing", tracer != nil)
 
+	// Time-series history: sample the registry on a fixed cadence so
+	// /debug/obs/history serves windowed counters, not just the latest.
+	hist := history.New(history.Config{
+		Regs: func() []*obs.Registry { return []*obs.Registry{reg} },
+	})
+	go func() {
+		t := time.NewTicker(*sampleIv)
+		defer t.Stop()
+		for range t.C {
+			hist.Sample()
+		}
+	}()
+
 	var ms *obs.MetricsServer
 	if *metrics != "" {
 		ms, err = obs.StartServerWith(*metrics, obs.MuxConfig{
 			Regs: []*obs.Registry{reg}, Trace: tracer, Pprof: of.Pprof,
+			Extra: map[string]http.Handler{
+				"/debug/obs/history": history.StoreHandler(hist),
+			},
 		})
 		if err != nil {
 			_ = pop.Close()

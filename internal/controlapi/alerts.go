@@ -1,0 +1,44 @@
+package controlapi
+
+import (
+	"net/http"
+
+	"painter/internal/obs/alert"
+	"painter/internal/tenant"
+)
+
+// Alert API:
+//
+//	GET /alerts  every live tenant's alert instance states and recent
+//	             transitions, plus the bounded tail of final states
+//	             from torn-down tenants (teardown resolves a tenant's
+//	             alerts rather than leaking them here)
+//	GET /debug/obs/history  merged per-tenant time-series rings
+//	             (?match=<prefix>, ?n=<last-N>)
+
+// AlertsResponse is the /alerts payload.
+type AlertsResponse struct {
+	// Firing counts firing instances across all live tenants — the
+	// one-glance health number.
+	Firing   int                   `json:"firing"`
+	Tenants  []tenant.TenantAlerts `json:"tenants"`
+	Finished []tenant.TenantAlerts `json:"finished,omitempty"`
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	out := AlertsResponse{
+		Tenants:  s.Tenants.Alerts(),
+		Finished: s.Tenants.FinishedAlerts(),
+	}
+	if out.Tenants == nil {
+		out.Tenants = []tenant.TenantAlerts{}
+	}
+	for _, ta := range out.Tenants {
+		for _, sv := range ta.States {
+			if sv.State == alert.StateFiring {
+				out.Firing++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -29,6 +29,7 @@ import (
 	"painter/internal/core"
 	"painter/internal/experiments"
 	"painter/internal/obs"
+	"painter/internal/obs/history"
 	"painter/internal/obs/span"
 	"painter/internal/tenant"
 )
@@ -109,6 +110,8 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("DELETE /tenants/{id}", s.handleTenantDelete)
 		mux.HandleFunc("GET /tenants/{id}/status", s.handleTenantStatus)
 		mux.HandleFunc("GET /tenants/{id}/reports", s.handleTenantReports)
+		mux.HandleFunc("GET /alerts", s.handleAlerts)
+		mux.Handle("GET /debug/obs/history", history.Handler(s.Tenants.Histories))
 	}
 	mux.Handle("GET /debug/trace", span.Handler(s.Trace))
 	if s.Pprof {

@@ -45,6 +45,7 @@ type repairMetrics struct {
 	noops         *obs.Counter
 	repairSeconds *obs.Histogram
 	dirtyFraction *obs.Gauge
+	pendingEvents *obs.Gauge
 }
 
 func newRepairMetrics(r *obs.Registry) repairMetrics {
@@ -58,6 +59,7 @@ func newRepairMetrics(r *obs.Registry) repairMetrics {
 		noops:         r.Counter("core_repair_noops_total", "syncs that dirtied nothing (traffic-only or absorbed events)"),
 		repairSeconds: r.Histogram("core_repair_seconds", "wall time of one controller sync that recomputed config"),
 		dirtyFraction: r.Gauge("core_repair_dirty_fraction", "dirty prefixes / config prefixes at the latest sync"),
+		pendingEvents: r.Gauge("core_pending_events", "world events queued and not yet consumed by Sync"),
 	}
 }
 

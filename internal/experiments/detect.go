@@ -1,0 +1,289 @@
+package experiments
+
+// Detection-latency benchmark for the alerting pipeline: inject PoP
+// outages into a fresh world and measure how many controller ticks the
+// catchment-drift detector (EWMA band over per-PoP anycast shares)
+// needs to raise the alert, and how many to resolve it after recovery.
+// The whole run is replayed twice from the same seed; the headline
+// includes whether the two alert streams were byte-identical — the
+// determinism contract the history/alert layer promises.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"painter/internal/benchmeta"
+	"painter/internal/cloud"
+	"painter/internal/netsim"
+	"painter/internal/obs"
+	"painter/internal/obs/alert"
+	"painter/internal/obs/history"
+)
+
+// DetectBenchConfig parameterizes the benchmark.
+type DetectBenchConfig struct {
+	// Seed offsets the twin world (the schedule itself is derived from
+	// the catchment, not a RNG).
+	Seed int64
+	// Trials is the number of PoP outages injected (default 6, capped
+	// at the deployment's PoP count).
+	Trials int
+	// Warmup is the EWMA warm-up: ticks sampled before any fault, and
+	// the detector's MinSamples (default 6).
+	Warmup int
+	// MaxTicks bounds the post-injection wait for the alert (default 20).
+	MaxTicks int
+	// Band is the EWMA drift band (default: detector's own 0.08).
+	Band float64
+	// ForTicks is how many consecutive out-of-band ticks fire the alert
+	// (default 2 — one to go pending, one to confirm).
+	ForTicks int
+}
+
+func (c *DetectBenchConfig) defaults() {
+	if c.Trials <= 0 {
+		c.Trials = 6
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 6
+	}
+	if c.MaxTicks <= 0 {
+		c.MaxTicks = 20
+	}
+	if c.ForTicks <= 0 {
+		c.ForTicks = 2
+	}
+}
+
+// DetectTrial is one injected outage.
+type DetectTrial struct {
+	Event string `json:"event"`
+	// Share is the victim PoP's anycast share just before the outage —
+	// the drift magnitude the detector has to notice.
+	Share      float64 `json:"share"`
+	InjectTick uint64  `json:"inject_tick"`
+	// DetectTicks is firing-tick minus inject-tick; -1 when the alert
+	// never fired within MaxTicks.
+	DetectTicks int `json:"detect_ticks"`
+	// ResolveTicks is ticks from recovery to the alert resolving (the
+	// EWMA re-converging); -1 when it stayed firing past MaxTicks.
+	ResolveTicks int `json:"resolve_ticks"`
+}
+
+// DetectBenchResult marshals to BENCH_DETECT.json. Meta stays zero here;
+// cmd/painter-bench stamps it just before writing.
+type DetectBenchResult struct {
+	benchmeta.Meta
+	Scale    string `json:"scale"`
+	Seed     int64  `json:"seed"`
+	PoPs     int    `json:"pops"`
+	UGs      int    `json:"ugs"`
+	Trials   int    `json:"trials"`
+	Detected int    `json:"detected"`
+
+	MedianDetectTicks  float64 `json:"median_detect_ticks"`
+	MaxDetectTicks     float64 `json:"max_detect_ticks"`
+	MedianResolveTicks float64 `json:"median_resolve_ticks"`
+
+	// Deterministic reports whether two same-seed runs produced
+	// byte-identical alert transition streams and history rings.
+	Deterministic bool `json:"deterministic"`
+
+	ElapsedSec float64       `json:"elapsed_sec"`
+	Points     []DetectTrial `json:"points"`
+}
+
+// RunDetectBench runs the outage schedule twice from the same seed and
+// reports detection latency plus the determinism verdict.
+func RunDetectBench(env *Env, cfg DetectBenchConfig) (*DetectBenchResult, error) {
+	cfg.defaults()
+	start := time.Now()
+	res, stream1, ring1, err := runDetectOnce(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	_, stream2, ring2, err := runDetectOnce(env, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: detect twin run: %w", err)
+	}
+	res.Deterministic = bytes.Equal(stream1, stream2) && bytes.Equal(ring1, ring2)
+	res.ElapsedSec = time.Since(start).Seconds()
+	return res, nil
+}
+
+// runDetectOnce builds a fresh world + detector rig and replays the
+// outage schedule, returning the result plus the canonical alert-stream
+// and history-ring encodings for the determinism comparison.
+func runDetectOnce(env *Env, cfg DetectBenchConfig) (*DetectBenchResult, []byte, []byte, error) {
+	w, err := netsim.New(env.Graph, env.Deploy, env.Seed+3)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ca := netsim.NewCatchmentAnalyzer(w, env.AllUGs, 0)
+	defer ca.Close()
+	reg := obs.NewRegistry()
+	cg := netsim.NewCatchmentGauges(reg, env.Deploy)
+	hist := history.New(history.Config{
+		Clock: history.TickClock(0, int64(time.Second)),
+		Regs:  func() []*obs.Registry { return []*obs.Registry{reg} },
+	})
+	eng := alert.NewEngine(hist,
+		alert.CatchmentDriftRules(cfg.Band, cfg.Warmup, cfg.ForTicks),
+		alert.Options{})
+
+	// tick advances the rig one controller tick: refresh the catchment,
+	// publish it, sample history, judge the rules.
+	var catch *netsim.Catchment
+	tick := func() (uint64, error) {
+		c, err := ca.Update()
+		if err != nil {
+			return 0, err
+		}
+		catch = c
+		cg.Set(c)
+		return hist.Sample(), nil
+	}
+	step := func() (uint64, error) {
+		t, err := tick()
+		if err != nil {
+			return 0, err
+		}
+		eng.Eval(t)
+		return t, nil
+	}
+	drifting := func() bool {
+		for _, sv := range eng.Firing() {
+			if sv.Rule == "catchment_drift" {
+				return true
+			}
+		}
+		return false
+	}
+
+	res := &DetectBenchResult{
+		Scale: env.Scale.String(), Seed: cfg.Seed,
+		PoPs: len(env.Deploy.PoPs), UGs: env.AllUGs.Len(),
+	}
+	for i := 0; i < cfg.Warmup; i++ {
+		if _, err := step(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	var detects, resolves []float64
+	hit := make(map[cloud.PoPID]bool)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// Victim: the heaviest not-yet-hit PoP (ties broken by ID), so
+		// trials sweep down the share distribution — from the outage
+		// every detector should see toward ones near the band.
+		victim, share := heaviestPoP(catch, hit)
+		if share < 0 { // every PoP hit: start the sweep over
+			clear(hit)
+			victim, share = heaviestPoP(catch, hit)
+		}
+		hit[victim] = true
+		ev := netsim.Event{Kind: netsim.EventPoPDown, PoP: victim}
+		if err := w.ApplyEvent(ev); err != nil {
+			return nil, nil, nil, err
+		}
+		pt := DetectTrial{Event: ev.String(), Share: share, DetectTicks: -1, ResolveTicks: -1}
+		t, err := step()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pt.InjectTick = t
+		for waited := 1; waited <= cfg.MaxTicks; waited++ {
+			if drifting() {
+				pt.DetectTicks = waited
+				break
+			}
+			if _, err := step(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		if pt.DetectTicks >= 0 {
+			res.Detected++
+			detects = append(detects, float64(pt.DetectTicks))
+		}
+		// Recovery: restore the PoP and wait for the EWMA to re-converge
+		// and the alert (recovery shifts shares back, so it may re-arm
+		// briefly) to leave the firing state.
+		if err := w.ApplyEvent(netsim.Event{Kind: netsim.EventPoPUp, PoP: victim}); err != nil {
+			return nil, nil, nil, err
+		}
+		for waited := 1; waited <= 4*cfg.MaxTicks; waited++ {
+			if _, err := step(); err != nil {
+				return nil, nil, nil, err
+			}
+			if !drifting() {
+				if pt.ResolveTicks < 0 {
+					pt.ResolveTicks = waited
+					resolves = append(resolves, float64(waited))
+				}
+				break
+			}
+		}
+		// Let the baseline settle before the next trial so trials stay
+		// independent.
+		for i := 0; i < cfg.Warmup; i++ {
+			if _, err := step(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		res.Trials++
+		res.Points = append(res.Points, pt)
+	}
+	res.MedianDetectTicks = quantile(detects, 0.5)
+	res.MaxDetectTicks = quantile(detects, 1.0)
+	res.MedianResolveTicks = quantile(resolves, 0.5)
+	return res, eng.Result().Bytes(), hist.Bytes(), nil
+}
+
+// heaviestPoP returns the PoP with the largest anycast share among
+// those not in skip (share -1 when all are skipped).
+func heaviestPoP(c *netsim.Catchment, skip map[cloud.PoPID]bool) (cloud.PoPID, float64) {
+	var best cloud.PoPID
+	bestShare := -1.0
+	for id, s := range c.PoPShare {
+		if skip[id] {
+			continue
+		}
+		if s > bestShare || (s == bestShare && id < best) {
+			best, bestShare = id, s
+		}
+	}
+	return best, bestShare
+}
+
+// Table renders the result for painter-bench.
+func (r *DetectBenchResult) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("catchment-drift detection latency (%s scale, %d/%d detected, deterministic=%v)",
+			r.Scale, r.Detected, r.Trials, r.Deterministic),
+		Header: []string{"event", "share", "detectTicks", "resolveTicks"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			p.Event,
+			Pct(p.Share),
+			fmt.Sprintf("%d", p.DetectTicks),
+			fmt.Sprintf("%d", p.ResolveTicks),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"median / max detect", "",
+		fmt.Sprintf("%.0f / %.0f", r.MedianDetectTicks, r.MaxDetectTicks), ""})
+	return t
+}
+
+// WriteJSON writes the result to path as indented JSON.
+func (r *DetectBenchResult) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

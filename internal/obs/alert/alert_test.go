@@ -1,0 +1,315 @@
+package alert
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"painter/internal/obs/history"
+)
+
+// pushStore builds a hand-fed store whose tick advances with each
+// sample round.
+type pushStore struct {
+	*history.Store
+}
+
+func newPushStore() pushStore {
+	return pushStore{history.New(history.Config{Capacity: 64, Clock: history.TickClock(0, 1)})}
+}
+
+// round pushes one value per series and advances the tick by sampling
+// an empty registry set.
+func (p pushStore) round(vals map[string]float64) uint64 {
+	tick := p.Sample() // no regs: just advances the tick
+	for k, v := range vals {
+		p.Push(k, v)
+	}
+	return tick
+}
+
+func states(e *Engine) map[string]State {
+	out := map[string]State{}
+	for _, sv := range e.States() {
+		out[sv.Rule+"|"+sv.Series] = sv.State
+	}
+	return out
+}
+
+func TestThresholdLifecycle(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{{
+		Name: "hot", Kind: KindThreshold, Series: "load",
+		Op: OpGT, Value: 10, For: 2, Window: 1,
+	}}, Options{})
+
+	// Below bound: inactive.
+	tick := st.round(map[string]float64{"load": 5})
+	if trs := e.Eval(tick); len(trs) != 0 {
+		t.Fatalf("unexpected transitions: %+v", trs)
+	}
+	// First breach: pending (For=2 holds it).
+	tick = st.round(map[string]float64{"load": 15})
+	trs := e.Eval(tick)
+	if len(trs) != 1 || trs[0].To != StatePending {
+		t.Fatalf("want pending, got %+v", trs)
+	}
+	// Second consecutive breach: firing.
+	tick = st.round(map[string]float64{"load": 20})
+	trs = e.Eval(tick)
+	if len(trs) != 1 || trs[0].From != StatePending || trs[0].To != StateFiring {
+		t.Fatalf("want pending→firing, got %+v", trs)
+	}
+	// Staying hot: no new transitions.
+	tick = st.round(map[string]float64{"load": 30})
+	if trs := e.Eval(tick); len(trs) != 0 {
+		t.Fatalf("firing must be stable, got %+v", trs)
+	}
+	// Recovery: resolved, and resolved is sticky.
+	tick = st.round(map[string]float64{"load": 1})
+	trs = e.Eval(tick)
+	if len(trs) != 1 || trs[0].To != StateResolved {
+		t.Fatalf("want resolved, got %+v", trs)
+	}
+	tick = st.round(map[string]float64{"load": 1})
+	if trs := e.Eval(tick); len(trs) != 0 {
+		t.Fatalf("resolved must be sticky, got %+v", trs)
+	}
+	// Re-breach from resolved: pending again.
+	tick = st.round(map[string]float64{"load": 50})
+	trs = e.Eval(tick)
+	if len(trs) != 1 || trs[0].From != StateResolved || trs[0].To != StatePending {
+		t.Fatalf("want resolved→pending, got %+v", trs)
+	}
+}
+
+func TestPendingFlapsBackToInactive(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{{
+		Name: "hot", Kind: KindThreshold, Series: "load",
+		Op: OpGT, Value: 10, For: 3,
+	}}, Options{})
+	e.Eval(st.round(map[string]float64{"load": 15})) // pending
+	trs := e.Eval(st.round(map[string]float64{"load": 5}))
+	if len(trs) != 1 || trs[0].From != StatePending || trs[0].To != StateInactive {
+		t.Fatalf("want pending→inactive, got %+v", trs)
+	}
+	// A one-tick blip never fires with For=3.
+	if got := states(e)["hot|load"]; got != StateInactive {
+		t.Fatalf("state = %s, want inactive", got)
+	}
+}
+
+func TestForOneFiresImmediately(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{{
+		Name: "hot", Kind: KindThreshold, Series: "load", Op: OpGT, Value: 10,
+	}}, Options{})
+	trs := e.Eval(st.round(map[string]float64{"load": 11}))
+	if len(trs) != 2 || trs[0].To != StatePending || trs[1].To != StateFiring {
+		t.Fatalf("want pending then firing in one tick, got %+v", trs)
+	}
+}
+
+func TestAbsenceNeedsAdvancingGate(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{ProbeBlackoutRule(3, 1)}, Options{})
+	// Both advancing: healthy.
+	sent, recv := 0.0, 0.0
+	for i := 0; i < 4; i++ {
+		sent += 10
+		recv += 10
+		if trs := e.Eval(st.round(map[string]float64{
+			"tm_edge_probes_sent_total":   sent,
+			"tm_edge_probe_replies_total": recv,
+		})); len(trs) != 0 {
+			t.Fatalf("healthy probes must not alert: %+v", trs)
+		}
+	}
+	// Replies flatline while sends continue: blackout fires.
+	var fired bool
+	for i := 0; i < 4; i++ {
+		sent += 10
+		trs := e.Eval(st.round(map[string]float64{
+			"tm_edge_probes_sent_total":   sent,
+			"tm_edge_probe_replies_total": recv,
+		}))
+		for _, tr := range trs {
+			if tr.To == StateFiring {
+				fired = true
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("blackout never fired")
+	}
+	// Everything flat (edge idle): must resolve, not keep firing.
+	var resolved bool
+	for i := 0; i < 4; i++ {
+		trs := e.Eval(st.round(map[string]float64{
+			"tm_edge_probes_sent_total":   sent,
+			"tm_edge_probe_replies_total": recv,
+		}))
+		for _, tr := range trs {
+			if tr.To == StateResolved {
+				resolved = true
+			}
+		}
+	}
+	if !resolved {
+		t.Fatal("idle edge must resolve the blackout")
+	}
+}
+
+func TestEWMADriftFiresAndSelfResolves(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{{
+		Name: "drift", Kind: KindEWMA, Series: "share",
+		Alpha: 0.5, Band: 0.1, MinSamples: 3,
+	}}, Options{})
+	// Stable warmup.
+	for i := 0; i < 5; i++ {
+		if trs := e.Eval(st.round(map[string]float64{"share": 0.25})); len(trs) != 0 {
+			t.Fatalf("stable series alerted: %+v", trs)
+		}
+	}
+	// Step change beyond the band: fires.
+	trs := e.Eval(st.round(map[string]float64{"share": 0.60}))
+	var fired bool
+	for _, tr := range trs {
+		if tr.To == StateFiring {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatalf("step change must fire, got %+v", trs)
+	}
+	// Baseline keeps learning: the new level becomes normal and the
+	// alert self-resolves.
+	var resolved bool
+	for i := 0; i < 10 && !resolved; i++ {
+		for _, tr := range e.Eval(st.round(map[string]float64{"share": 0.60})) {
+			if tr.To == StateResolved {
+				resolved = true
+			}
+		}
+	}
+	if !resolved {
+		t.Fatal("drift alert never self-resolved after baseline caught up")
+	}
+}
+
+func TestEWMAWarmupSuppresses(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{{
+		Name: "drift", Kind: KindEWMA, Series: "share",
+		Alpha: 0.2, Band: 0.01, MinSamples: 5,
+	}}, Options{})
+	// Wild swings during warmup must stay quiet.
+	for i, v := range []float64{0.1, 0.9, 0.1, 0.9} {
+		if trs := e.Eval(st.round(map[string]float64{"share": v})); len(trs) != 0 {
+			t.Fatalf("warmup sample %d alerted: %+v", i, trs)
+		}
+	}
+}
+
+func TestWildcardFansOut(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{{
+		Name: "hot", Kind: KindThreshold, Series: "pop_share*", Op: OpGT, Value: 0.5,
+	}}, Options{})
+	tick := st.round(map[string]float64{
+		`pop_share{pop="0"}`: 0.7,
+		`pop_share{pop="1"}`: 0.2,
+		`other`:              9,
+	})
+	e.Eval(tick)
+	got := states(e)
+	if got[`hot|pop_share{pop="0"}`] != StateFiring {
+		t.Fatalf("pop 0 must fire: %v", got)
+	}
+	if got[`hot|pop_share{pop="1"}`] != StateInactive {
+		t.Fatalf("pop 1 must stay inactive: %v", got)
+	}
+	if len(got) != 2 {
+		t.Fatalf("wildcard matched wrong series set: %v", got)
+	}
+}
+
+func TestResolveAllAndStates(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{
+		{Name: "a", Kind: KindThreshold, Series: "x", Op: OpGT, Value: 1},
+		{Name: "b", Kind: KindThreshold, Series: "y", Op: OpGT, Value: 1, For: 5},
+	}, Options{Labels: map[string]string{"tenant": "t1"}})
+	tick := st.round(map[string]float64{"x": 5, "y": 5})
+	e.Eval(tick) // a firing, b pending
+
+	trs := e.ResolveAll(tick + 1)
+	if len(trs) != 2 {
+		t.Fatalf("ResolveAll transitions = %+v", trs)
+	}
+	got := states(e)
+	if got["a|x"] != StateResolved || got["b|y"] != StateInactive {
+		t.Fatalf("after ResolveAll: %v", got)
+	}
+	if fs := e.Firing(); len(fs) != 0 {
+		t.Fatalf("nothing may stay firing: %+v", fs)
+	}
+	for _, sv := range e.States() {
+		if sv.Labels["tenant"] != "t1" {
+			t.Fatalf("base labels missing on %+v", sv)
+		}
+	}
+}
+
+func TestResultBytesDeterministicAndDistinct(t *testing.T) {
+	run := func(vals []float64) []byte {
+		st := newPushStore()
+		e := NewEngine(st.Store, []Rule{{
+			Name: "hot", Kind: KindThreshold, Series: "load", Op: OpGT, Value: 10, For: 2,
+		}}, Options{})
+		for _, v := range vals {
+			e.Eval(st.round(map[string]float64{"load": v}))
+		}
+		return e.Result().Bytes()
+	}
+	seq := []float64{1, 20, 20, 20, 1, 1, 30, 30}
+	if !bytes.Equal(run(seq), run(seq)) {
+		t.Fatal("identical runs produced different alert bytes")
+	}
+	if bytes.Equal(run(seq), run([]float64{1, 1, 1, 1, 1, 1, 1, 1})) {
+		t.Fatal("different runs produced identical alert bytes")
+	}
+}
+
+func TestMirrorLogsFiring(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{{
+		Name: "hot", Kind: KindThreshold, Series: "load", Op: OpGT, Value: 10,
+	}}, Options{Labels: map[string]string{"tenant": "t9"}, Logger: logger})
+	e.Eval(st.round(map[string]float64{"load": 99}))
+	out := buf.String()
+	if !strings.Contains(out, "alert firing") || !strings.Contains(out, "rule=hot") ||
+		!strings.Contains(out, "tenant=t9") {
+		t.Fatalf("firing log missing fields: %q", out)
+	}
+	buf.Reset()
+	e.Eval(st.round(map[string]float64{"load": 0}))
+	if !strings.Contains(buf.String(), "alert resolved") {
+		t.Fatalf("resolved log missing: %q", buf.String())
+	}
+}
+
+func TestNilEngineSafe(t *testing.T) {
+	var e *Engine
+	if e.Eval(1) != nil || e.States() != nil || e.ResolveAll(1) != nil {
+		t.Fatal("nil engine must no-op")
+	}
+	if b := e.Result().Bytes(); len(b) != 4 {
+		t.Fatalf("empty result bytes = %d, want 4 (count header)", len(b))
+	}
+}

@@ -1,0 +1,29 @@
+package alert
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// StatesJSON is the standalone-daemon /alerts payload.
+type StatesJSON struct {
+	States []StateView  `json:"states"`
+	Recent []Transition `json:"recent,omitempty"`
+}
+
+// StatesHandler serves one engine's instance states and recent
+// transitions as JSON — the standalone-daemon /alerts surface (the
+// control API aggregates tenants itself).
+func StatesHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		out := StatesJSON{States: e.States()}
+		if out.States == nil {
+			out.States = []StateView{}
+		}
+		out.Recent = e.Result().Transitions
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}

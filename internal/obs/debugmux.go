@@ -23,15 +23,23 @@ type MuxConfig struct {
 	Trace *span.Tracer
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
+	// Extra mounts additional handlers by pattern — how daemons attach
+	// surfaces built on top of obs (history, alerts) without obs
+	// importing them.
+	Extra map[string]http.Handler
 }
 
 // NewMuxWith returns a mux serving GET /metrics, GET /debug/obs,
-// GET /debug/trace, and (when enabled) /debug/pprof/.
+// GET /debug/trace, (when enabled) /debug/pprof/, and any Extra
+// handlers.
 func NewMuxWith(cfg MuxConfig) *http.ServeMux {
 	mux := NewMux(cfg.Regs...)
 	mux.Handle("/debug/trace", span.Handler(cfg.Trace))
 	if cfg.Pprof {
 		MountPprof(mux)
+	}
+	for pattern, h := range cfg.Extra {
+		mux.Handle(pattern, h)
 	}
 	return mux
 }

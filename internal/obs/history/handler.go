@@ -1,0 +1,69 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// SeriesJSON is one series in the /debug/obs/history payload.
+type SeriesJSON struct {
+	Ticks  []uint64  `json:"ticks"`
+	Values []float64 `json:"values"`
+}
+
+// ResponseJSON is the /debug/obs/history payload shape.
+type ResponseJSON struct {
+	Tick   uint64                `json:"tick"`
+	Series map[string]SeriesJSON `json:"series"`
+}
+
+// Handler serves the merged JSON view of the given stores, re-collected
+// on every request (tenant stores come and go). Query parameters:
+//
+//	?match=<prefix>  only series whose name starts with the prefix
+//	?n=<N>           only the last N points per series
+func Handler(stores func() []*Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		prefix := req.URL.Query().Get("match")
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		out := ResponseJSON{Series: map[string]SeriesJSON{}}
+		for _, st := range stores() {
+			if st == nil {
+				continue
+			}
+			if t := st.Tick(); t > out.Tick {
+				out.Tick = t
+			}
+			for _, name := range st.Match(prefix) {
+				win := st.Window(name, n)
+				sj := SeriesJSON{
+					Ticks:  make([]uint64, 0, win.Len()),
+					Values: make([]float64, 0, win.Len()),
+				}
+				for _, p := range win.Points {
+					sj.Ticks = append(sj.Ticks, p.Tick)
+					sj.Values = append(sj.Values, p.Val)
+				}
+				out.Series[name] = sj
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}
+
+// StoreHandler is Handler over a fixed store set.
+func StoreHandler(stores ...*Store) http.Handler {
+	return Handler(func() []*Store { return stores })
+}

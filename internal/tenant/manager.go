@@ -9,8 +9,14 @@ import (
 
 	"painter/internal/core"
 	"painter/internal/obs"
+	"painter/internal/obs/alert"
+	"painter/internal/obs/history"
 	"painter/internal/obs/span"
 )
+
+// finishedRing bounds how many torn-down tenants keep their final alert
+// states visible in /alerts.
+const finishedRing = 16
 
 // Params tunes a Manager.
 type Params struct {
@@ -42,6 +48,10 @@ type Manager struct {
 	mu        sync.Mutex
 	instances map[string]*instance
 	closed    bool
+	// finished retains the final (resolved) alert states of recently
+	// torn-down tenants — teardown resolves alerts rather than leaking
+	// them, but operators still get to see what had been firing.
+	finished []TenantAlerts
 
 	kick     chan struct{}
 	stop     chan struct{}
@@ -269,9 +279,20 @@ func (m *Manager) create(st Stored) *instance {
 }
 
 // teardown drains and stops one runtime, flushes its final evaluation,
-// and logs the one-line per-tenant summary.
+// and logs the one-line per-tenant summary. close() force-resolves the
+// tenant's alerts; the final states land in the bounded finished tail.
 func (m *Manager) teardown(in *instance, reason string) {
 	in.close()
+	if states := in.alertStates(); len(states) > 0 {
+		m.mu.Lock()
+		m.finished = append(m.finished, TenantAlerts{
+			Tenant: in.id, States: states, Recent: in.alertStream(),
+		})
+		if len(m.finished) > finishedRing {
+			m.finished = m.finished[len(m.finished)-finishedRing:]
+		}
+		m.mu.Unlock()
+	}
 	st := in.status()
 	benefit := st.FinalBenefitMs
 	if !st.ScheduleDone || benefit == 0 {
@@ -375,6 +396,64 @@ func (m *Manager) Registries() []*obs.Registry {
 
 // Obs returns the manager's own registry (lifecycle counters).
 func (m *Manager) Obs() *obs.Registry { return m.reg }
+
+// TenantAlerts is one tenant's alert view: current instance states plus
+// the recent transition stream (the /alerts payload element).
+type TenantAlerts struct {
+	Tenant string             `json:"tenant"`
+	States []alert.StateView  `json:"states"`
+	Recent []alert.Transition `json:"recent,omitempty"`
+}
+
+// Alerts returns every live tenant's alert states sorted by ID — the
+// GET /alerts aggregation.
+func (m *Manager) Alerts() []TenantAlerts {
+	m.mu.Lock()
+	ins := make([]*instance, 0, len(m.instances))
+	for _, in := range m.instances {
+		ins = append(ins, in)
+	}
+	m.mu.Unlock()
+	sort.Slice(ins, func(i, j int) bool { return ins[i].id < ins[j].id })
+	out := make([]TenantAlerts, 0, len(ins))
+	for _, in := range ins {
+		states := in.alertStates()
+		if states == nil {
+			continue // failed build: no engine
+		}
+		out = append(out, TenantAlerts{
+			Tenant: in.id, States: states, Recent: in.alertStream(),
+		})
+	}
+	return out
+}
+
+// FinishedAlerts returns the bounded tail of final alert states from
+// torn-down tenants, oldest first.
+func (m *Manager) FinishedAlerts() []TenantAlerts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]TenantAlerts(nil), m.finished...)
+}
+
+// Histories returns every live tenant's time-series store, sorted by
+// tenant ID — the /debug/obs/history aggregation.
+func (m *Manager) Histories() []*history.Store {
+	m.mu.Lock()
+	ins := make([]*instance, 0, len(m.instances))
+	for _, in := range m.instances {
+		ins = append(ins, in)
+	}
+	m.mu.Unlock()
+	sort.Slice(ins, func(i, j int) bool { return ins[i].id < ins[j].id })
+	out := make([]*history.Store, 0, len(ins))
+	for _, in := range ins {
+		if h := in.history(); h != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
 
 // Close stops the reconcile loop, then tears down every tenant —
 // draining in-flight Syncs, flushing final evaluations, and logging

@@ -13,6 +13,8 @@ import (
 	"painter/internal/experiments"
 	"painter/internal/netsim"
 	"painter/internal/obs"
+	"painter/internal/obs/alert"
+	"painter/internal/obs/history"
 	"painter/internal/obs/span"
 	"painter/internal/topology"
 	"painter/internal/usergroup"
@@ -107,6 +109,16 @@ type instance struct {
 
 	reg    *obs.Registry
 	tracer *span.Tracer
+
+	// Analysis tier: per-tick history sampling over the tenant's
+	// registries, the incremental catchment view feeding the per-PoP
+	// share gauges, and the alert engine judging the three built-in
+	// detectors. All deterministic: the history clock is tick-derived,
+	// and Eval runs on the same serialized cadence as Sync.
+	hist   *history.Store
+	alerts *alert.Engine
+	catch  *netsim.CatchmentAnalyzer
+	catchG *netsim.CatchmentGauges
 
 	eventsApplied uint64
 	syncs         uint64
@@ -203,6 +215,24 @@ func buildInstance(st Stored, logger *slog.Logger, parent *span.Tracer) (*instan
 		return nil, fmt.Errorf("tenant %q: controller: %w", st.ID, err)
 	}
 
+	// The analysis tier: a ring-buffer history over both registries with
+	// a tick-derived clock (wall time never leaks into the series, so
+	// same-seed tenants produce byte-identical history), the incremental
+	// catchment analyzer publishing per-PoP shares into the world
+	// registry, and the alert engine running the built-in detectors with
+	// tenant-labeled states mirrored into the structured log.
+	hist := history.New(history.Config{
+		Clock: history.TickClock(0, int64(spec.TickMs)*int64(time.Millisecond)),
+		Regs:  func() []*obs.Registry { return []*obs.Registry{reg, w.Obs()} },
+	})
+	rules := alert.CatchmentDriftRules(0, 8, 1)
+	rules = append(rules, alert.ConvergenceSLORules(0, 0, 8, 2)...)
+	eng := alert.NewEngine(hist, rules, alert.Options{
+		Labels: map[string]string{"tenant": st.ID},
+		Logger: logger,
+		Tracer: tracer,
+	})
+
 	in := &instance{
 		id:       st.ID,
 		spec:     spec,
@@ -218,6 +248,10 @@ func buildInstance(st Stored, logger *slog.Logger, parent *span.Tracer) (*instan
 		maxTick:  -1,
 		reg:      reg,
 		tracer:   tracer,
+		hist:     hist,
+		alerts:   eng,
+		catch:    netsim.NewCatchmentAnalyzer(w, ugs, 0),
+		catchG:   netsim.NewCatchmentGauges(w.Obs(), d),
 		prefixes: len(ctrl.Config().Prefixes),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -233,6 +267,7 @@ func buildInstance(st Stored, logger *slog.Logger, parent *span.Tracer) (*instan
 		sched, err := chaos.Generate(g, d, gc)
 		if err != nil {
 			ctrl.Stop()
+			in.catch.Close()
 			return nil, fmt.Errorf("tenant %q: schedule: %w", st.ID, err)
 		}
 		for _, se := range sched {
@@ -357,6 +392,19 @@ func (in *instance) stepLocked() (core.SyncReport, error) {
 		in.reports = in.reports[len(in.reports)-reportRing:]
 	}
 
+	// Analysis tier, on the same serialized cadence as Sync (the netsim
+	// contract — no queries racing ApplyEvent — holds under mu): refresh
+	// the catchment incrementally, publish the per-PoP shares, take one
+	// history sample of both registries, and judge the detectors.
+	if in.catch != nil {
+		if c, cerr := in.catch.Update(); cerr == nil {
+			in.catchG.Set(c)
+		}
+		// A world with no anycast routes at all (every PoP down) has no
+		// catchment; gauges hold their last values until routes return.
+	}
+	in.alerts.Eval(in.hist.Sample())
+
 	// One tick past the schedule's final recovery, flush the converged
 	// ground truth once: the per-tenant quality headline.
 	if in.maxTick >= 0 && in.tick == in.maxTick+1 && !in.finalDone {
@@ -421,10 +469,17 @@ func (in *instance) close() {
 	in.mu.Lock()
 	in.phase = PhaseTerminating
 	ctrl := in.ctrl
+	catch := in.catch
 	in.mu.Unlock()
 	if ctrl != nil {
 		ctrl.Stop()
 	}
+	if catch != nil {
+		catch.Close()
+	}
+	// Teardown must not leak firing alerts into /alerts: force-resolve
+	// everything on one final tick.
+	in.alerts.ResolveAll(in.hist.Tick() + 1)
 }
 
 // status snapshots the tenant's observed state.
@@ -468,6 +523,19 @@ func (in *instance) config() core.Config {
 	}
 	return in.ctrl.Config()
 }
+
+// alertStates returns the tenant's current alert instances (nil for
+// failed builds).
+func (in *instance) alertStates() []alert.StateView { return in.alerts.States() }
+
+// alertStream returns a copy of the tenant's bounded transition stream.
+func (in *instance) alertStream() []alert.Transition {
+	return in.alerts.Result().Transitions
+}
+
+// history returns the tenant's time-series store (nil for failed
+// builds).
+func (in *instance) history() *history.Store { return in.hist }
 
 // registries returns the tenant's exposition registries (controller
 // first, then the world's), skipping nil for failed builds.
