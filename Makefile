@@ -49,12 +49,13 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -shuffle=on ./internal/tm/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/obs/ ./internal/obs/span/ ./internal/obs/history/ ./internal/obs/alert/ ./internal/controlapi/ ./internal/usergroup/ ./internal/tenant/
+	$(GO) test -race -shuffle=on ./internal/tm/ ./internal/tm/netio/ ./internal/tmproto/ ./internal/bgp/ ./internal/routeserver/ ./internal/netsim/emul/ ./internal/core/ ./internal/netsim/ ./internal/chaos/ ./internal/chaos/tmchaos/ ./internal/obs/ ./internal/obs/span/ ./internal/obs/history/ ./internal/obs/alert/ ./internal/controlapi/ ./internal/usergroup/ ./internal/tenant/
 
 # Short fuzzing smoke on the wire decoders: each target runs for
 # FUZZ_TIME (go test allows one -fuzz pattern per invocation).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZ_TIME) ./internal/tmproto/
+	$(GO) test -run='^$$' -fuzz=FuzzGREDecode -fuzztime=$(FUZZ_TIME) ./internal/tmproto/
 	$(GO) test -run='^$$' -fuzz=FuzzParseUpdate -fuzztime=$(FUZZ_TIME) ./internal/bgp/
 	$(GO) test -run='^$$' -fuzz=FuzzParseOpen -fuzztime=$(FUZZ_TIME) ./internal/bgp/
 	$(GO) test -run='^$$' -fuzz=FuzzParseNotification -fuzztime=$(FUZZ_TIME) ./internal/bgp/
@@ -109,6 +110,7 @@ bench-json:
 	$(GO) run ./cmd/painter-bench -exp scale -scale-out BENCH_SCALE.json
 	$(GO) run ./cmd/painter-bench -exp tenants -tenants-out BENCH_TENANTS.json
 	$(GO) run ./cmd/painter-bench -exp detect -detect-out BENCH_DETECT.json
+	$(GO) run ./cmd/painter-bench -exp datapath -datapath-out BENCH_DATAPATH.json
 
 # Measure observability overhead on the propagation hot path: live obs
 # vs the no-op default, plus the -tags obsstrip compile-time-stripped

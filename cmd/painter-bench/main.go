@@ -49,6 +49,9 @@ type runCtx struct {
 	// detectOut, when set, makes the detect experiment write its result
 	// as JSON (BENCH_DETECT.json).
 	detectOut string
+	// datapathOut, when set, makes the datapath experiment write its
+	// result as JSON (BENCH_DATAPATH.json).
+	datapathOut string
 	// workers is the solver worker count for the scale sweep.
 	workers int
 	// fig6aRows is cached so fig14 (a re-projection of the same sweep)
@@ -268,6 +271,21 @@ var experimentList = []experiment{
 		}
 		return nil
 	}},
+	{"datapath", "TM datapath pps (batched vs portable vs GRE) + failover at 10⁵ flows", false, false, func(c *runCtx) error {
+		res, err := experiments.RunDatapathBench(experiments.DatapathBenchConfig{Seed: c.seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table())
+		if c.datapathOut != "" {
+			res.Meta = benchmeta.Collect()
+			if err := res.WriteJSON(c.datapathOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", c.datapathOut)
+		}
+		return nil
+	}},
 	{"scale", "solve wall-clock and memory across small/peering/azure", false, true, func(c *runCtx) error {
 		rep, err := experiments.RunScaleBench(experiments.ScaleBenchConfig{
 			Seed: c.seed, Workers: c.workers,
@@ -325,6 +343,7 @@ func main() {
 		dltOut  = flag.String("delta-out", "", "write the delta experiment's result as JSON to this file")
 		tntOut  = flag.String("tenants-out", "", "write the tenants experiment's result as JSON to this file")
 		detOut  = flag.String("detect-out", "", "write the detect experiment's result as JSON to this file")
+		dpOut   = flag.String("datapath-out", "", "write the datapath experiment's result as JSON to this file")
 		workers = flag.Int("workers", 0, "solver worker count for the scale sweep (0 = GOMAXPROCS)")
 		skip    = flag.Bool("skip-slow", false, "skip solver-sweep experiments (explicit SKIP lines)")
 		budget  = flag.Duration("time-budget", 0, "stop starting new experiments once this much wall time has elapsed (0 = unlimited)")
@@ -385,7 +404,7 @@ func main() {
 
 	ctx := &runCtx{seed: *seed, iters: *iters, resolveOut: *resOut,
 		scaleOut: *scOut, deltaOut: *dltOut, tenantsOut: *tntOut,
-		detectOut: *detOut, workers: *workers}
+		detectOut: *detOut, datapathOut: *dpOut, workers: *workers}
 	needEnv := false
 	for _, e := range experimentList {
 		if e.needsEnv && want(e.id) && !(*skip && e.slow) {

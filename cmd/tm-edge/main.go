@@ -7,7 +7,7 @@
 // service from a bootstrap TM-PoP:
 //
 //	tm-edge -resolve 127.0.0.1:4000 -service teleconf
-//	tm-edge -dest 127.0.0.1:4000,1,anycast -dest 127.0.0.1:4001,1
+//	tm-edge -dest 127.0.0.1:4000,1,anycast -dest 127.0.0.1:4001,1,gre
 //
 // With -demo, the edge generates a probe flow and prints per-second
 // status lines (selected destination, per-destination RTTs) — a live
@@ -46,7 +46,7 @@ func (d *destList) String() string { return fmt.Sprintf("%d destinations", len(*
 func (d *destList) Set(v string) error {
 	parts := strings.Split(v, ",")
 	if len(parts) < 2 {
-		return fmt.Errorf("want addr:port,popid[,anycast], got %q", v)
+		return fmt.Errorf("want addr:port,popid[,anycast][,gre], got %q", v)
 	}
 	ap, err := netip.ParseAddrPort(parts[0])
 	if err != nil {
@@ -57,8 +57,15 @@ func (d *destList) Set(v string) error {
 		return err
 	}
 	dest := tmproto.Destination{Addr: ap.Addr(), Port: ap.Port(), PoP: uint32(pop)}
-	if len(parts) > 2 && parts[2] == "anycast" {
-		dest.Anycast = true
+	for _, opt := range parts[2:] {
+		switch opt {
+		case "anycast":
+			dest.Anycast = true
+		case "gre":
+			dest.GRE = true
+		default:
+			return fmt.Errorf("unknown destination option %q (want anycast or gre)", opt)
+		}
 	}
 	*d = append(*d, dest)
 	return nil
@@ -74,8 +81,10 @@ func main() {
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
 		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/obs/history, /alerts, /debug/trace (empty = off)")
 		sampleIv = flag.Duration("history-interval", time.Second, "history sampling and alert evaluation cadence")
+		sockets  = flag.Int("sockets", 0, "SO_REUSEPORT datapath sockets (0 = one per CPU, capped)")
+		batch    = flag.Int("batch", 0, "datagrams per syscall (0 = 32; 1 = portable single-packet path)")
 	)
-	flag.Var(&dests, "dest", "tunnel destination (addr:port,popid[,anycast]); repeatable")
+	flag.Var(&dests, "dest", "tunnel destination (addr:port,popid[,anycast][,gre]); repeatable")
 	of := daemon.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -90,6 +99,8 @@ func main() {
 	cfg := tm.DefaultEdgeConfig()
 	cfg.ProbeInterval = *probeIv
 	cfg.Destinations = dests
+	cfg.Sockets = *sockets
+	cfg.Batch = *batch
 	cfg.Obs = reg
 	cfg.Tracer = tracer
 	cfg.OnEvent = func(ev tm.Event) {

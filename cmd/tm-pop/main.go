@@ -7,7 +7,7 @@
 // Destinations are supplied as repeated -dest flags:
 //
 //	tm-pop -listen 127.0.0.1:4000 -pop-id 1 \
-//	       -dest 127.0.0.1:4000,1,anycast -dest 127.0.0.1:4001,1
+//	       -dest 127.0.0.1:4000,1,anycast -dest 127.0.0.1:4001,1,gre
 package main
 
 import (
@@ -36,7 +36,7 @@ func (d *destList) String() string { return fmt.Sprintf("%d destinations", len(*
 func (d *destList) Set(v string) error {
 	parts := strings.Split(v, ",")
 	if len(parts) < 2 {
-		return fmt.Errorf("want addr:port,popid[,anycast], got %q", v)
+		return fmt.Errorf("want addr:port,popid[,anycast][,gre], got %q", v)
 	}
 	ap, err := netip.ParseAddrPort(parts[0])
 	if err != nil {
@@ -47,8 +47,15 @@ func (d *destList) Set(v string) error {
 		return fmt.Errorf("pop id %q: %w", parts[1], err)
 	}
 	dest := tmproto.Destination{Addr: ap.Addr(), Port: ap.Port(), PoP: uint32(pop)}
-	if len(parts) > 2 && parts[2] == "anycast" {
-		dest.Anycast = true
+	for _, opt := range parts[2:] {
+		switch opt {
+		case "anycast":
+			dest.Anycast = true
+		case "gre":
+			dest.GRE = true
+		default:
+			return fmt.Errorf("unknown destination option %q (want anycast or gre)", opt)
+		}
 	}
 	*d = append(*d, dest)
 	return nil
@@ -63,8 +70,11 @@ func main() {
 		statsIv  = flag.Duration("stats-interval", 10*time.Second, "stats logging interval (0 = off)")
 		metrics  = flag.String("metrics-listen", "", "HTTP address for /metrics, /debug/obs, /debug/obs/history, /debug/trace (empty = off)")
 		sampleIv = flag.Duration("history-interval", time.Second, "time-series history sampling cadence")
+		sockets  = flag.Int("sockets", 0, "SO_REUSEPORT datapath sockets (0 = one per CPU, capped)")
+		batch    = flag.Int("batch", 0, "datagrams per syscall (0 = 32; 1 = portable single-packet path)")
+		workers  = flag.Int("workers", 0, "service worker-pool size (0 = max(2, NumCPU))")
 	)
-	flag.Var(&dests, "dest", "destination to advertise to edges (addr:port,popid[,anycast]); repeatable")
+	flag.Var(&dests, "dest", "destination to advertise to edges (addr:port,popid[,anycast][,gre]); repeatable")
 	of := daemon.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -83,6 +93,9 @@ func main() {
 		FlowTTL:      *flowTTL,
 		Obs:          reg,
 		Tracer:       tracer,
+		Sockets:      *sockets,
+		Batch:        *batch,
+		Workers:      *workers,
 	})
 	if err != nil {
 		logger.Error("start failed", "err", err)

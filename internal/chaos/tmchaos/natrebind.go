@@ -1,0 +1,179 @@
+// Package tmchaos holds chaos scenarios that fault the *running*
+// Traffic Manager datapath (real sockets over emulated links), as
+// opposed to package chaos, which faults the simulated routing world.
+// It is a separate package because tm's own tests import chaos for
+// schedule/invariant helpers.
+package tmchaos
+
+// NAT-rebinding chaos for the Traffic Manager datapath. A NAT device
+// between an edge and a PoP can silently rebuild its port mappings
+// (reboot, conntrack flush, CGN churn): the same inner flows suddenly
+// arrive at the PoP from brand-new outer source ports. The PoP's Known
+// Flows table keys NAT state by the *inner* FlowKey precisely so this is
+// survivable — the entry re-homes to the new outer address and return
+// traffic follows it immediately instead of blackholing to the stale
+// one. This scenario drives a real edge↔PoP pair over an emul.Link,
+// injects mapping resets with Link.Rebind, and measures whether that
+// contract holds: flows re-home, echoes keep flowing, nothing is
+// misdelivered.
+
+import (
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"painter/internal/netsim/emul"
+	"painter/internal/tm"
+	"painter/internal/tmproto"
+)
+
+// NATRebindConfig parameterizes one NAT-rebind run.
+type NATRebindConfig struct {
+	// Flows is the number of concurrent client flows kept active across
+	// the rebinds.
+	Flows int
+	// Rebinds is how many NAT mapping resets to inject.
+	Rebinds int
+	// Settle is how long to keep traffic flowing after each rebind before
+	// sampling (must exceed one link RTT so re-homed echoes can land).
+	Settle time.Duration
+	// LinkDelay is the emulated one-way delay edge↔PoP.
+	LinkDelay time.Duration
+	// ProbeInterval is the edge's probe cadence.
+	ProbeInterval time.Duration
+}
+
+// DefaultNATRebindConfig returns a configuration sized for CI: enough
+// flows to exercise every stripe of the sharded table, small enough to
+// finish in a few seconds.
+func DefaultNATRebindConfig() NATRebindConfig {
+	return NATRebindConfig{
+		Flows:         64,
+		Rebinds:       3,
+		Settle:        250 * time.Millisecond,
+		LinkDelay:     2 * time.Millisecond,
+		ProbeInterval: 10 * time.Millisecond,
+	}
+}
+
+// NATRebindResult is the measured outcome of one run.
+type NATRebindResult struct {
+	Flows   int `json:"flows"`
+	Rebinds int `json:"rebinds"`
+	// MappingsDropped is the total upstream mappings the link tore down
+	// across all rebinds.
+	MappingsDropped int `json:"mappings_dropped"`
+	// FlowMoves is the PoP's count of Known Flows entries re-homed to a
+	// new edge address. A correct run re-homes (close to) every flow on
+	// every rebind.
+	FlowMoves uint64 `json:"flow_moves"`
+	// EchoesSent / EchoesRcvd measure end-to-end delivery across the
+	// whole run, including the rebind windows.
+	EchoesSent int   `json:"echoes_sent"`
+	EchoesRcvd int64 `json:"echoes_rcvd"`
+	// RcvdAfterLastRebind counts echoes delivered after the final rebind
+	// — proof that return traffic followed the re-homed mappings rather
+	// than the stale ones.
+	RcvdAfterLastRebind int64 `json:"rcvd_after_last_rebind"`
+	// DroppedReplies is the PoP's count of replies with no live flow
+	// entry; rebinds must not orphan entries.
+	DroppedReplies uint64 `json:"dropped_replies"`
+	// DeliveredPct is EchoesRcvd/EchoesSent in percent.
+	DeliveredPct float64 `json:"delivered_pct"`
+}
+
+// RunNATRebind executes the scenario and returns measurements. It is
+// used both by the chaos tests and by painter-bench -exp datapath.
+func RunNATRebind(cfg NATRebindConfig) (*NATRebindResult, error) {
+	if cfg.Flows <= 0 || cfg.Rebinds <= 0 {
+		return nil, fmt.Errorf("chaos: nat-rebind needs flows and rebinds > 0")
+	}
+	pop, err := tm.NewPoP(tm.PoPConfig{ListenAddr: "127.0.0.1:0", PoPID: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer pop.Close()
+	link, err := emul.NewLink(pop.Addr(), cfg.LinkDelay, 11)
+	if err != nil {
+		return nil, err
+	}
+	defer link.Close()
+	ap, err := netip.ParseAddrPort(link.Addr())
+	if err != nil {
+		return nil, err
+	}
+
+	var rcvd atomic.Int64
+	ecfg := tm.DefaultEdgeConfig()
+	ecfg.ProbeInterval = cfg.ProbeInterval
+	ecfg.MinFailureTimeout = 20 * cfg.ProbeInterval // rebind loss is not PoP failure
+	ecfg.Destinations = []tmproto.Destination{{Addr: ap.Addr(), Port: ap.Port(), PoP: 1}}
+	ecfg.OnReturn = func(tmproto.FlowKey, []byte) { rcvd.Add(1) }
+	edge, err := tm.NewEdge(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	defer edge.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := edge.Selected(); ok {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := edge.Selected(); !ok {
+		return nil, fmt.Errorf("chaos: nat-rebind: destination never came alive")
+	}
+
+	res := &NATRebindResult{Flows: cfg.Flows, Rebinds: cfg.Rebinds}
+	keys := make([]tmproto.FlowKey, cfg.Flows)
+	for i := range keys {
+		keys[i] = tmproto.FlowKey{
+			Proto:   17,
+			Src:     netip.MustParseAddr("10.0.0.5"),
+			Dst:     netip.MustParseAddr("203.0.113.9"),
+			SrcPort: uint16(20000 + i),
+			DstPort: 443,
+		}
+	}
+	sendRound := func() {
+		for _, k := range keys {
+			if err := edge.Send(k, []byte("nat")); err == nil {
+				res.EchoesSent++
+			}
+		}
+	}
+	waitRcvd := func(want int64, d time.Duration) {
+		dl := time.Now().Add(d)
+		for time.Now().Before(dl) && rcvd.Load() < want {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Seed the Known Flows table and let the first round land.
+	sendRound()
+	waitRcvd(int64(res.EchoesSent), cfg.Settle)
+
+	var afterLastBase int64
+	for r := 0; r < cfg.Rebinds; r++ {
+		res.MappingsDropped += link.Rebind()
+		afterLastBase = rcvd.Load()
+		// Two rounds through the rebuilt mappings: the first re-homes
+		// every flow, the second must already ride the new path.
+		sendRound()
+		sendRound()
+		waitRcvd(int64(res.EchoesSent), cfg.Settle)
+	}
+
+	res.EchoesRcvd = rcvd.Load()
+	res.RcvdAfterLastRebind = res.EchoesRcvd - afterLastBase
+	st := pop.Stats()
+	res.FlowMoves = st.FlowMoves
+	res.DroppedReplies = st.DroppedReplies
+	if res.EchoesSent > 0 {
+		res.DeliveredPct = 100 * float64(res.EchoesRcvd) / float64(res.EchoesSent)
+	}
+	return res, nil
+}

@@ -1,0 +1,36 @@
+package tmchaos
+
+import "testing"
+
+// TestNATRebindFlowsRehome: every injected NAT mapping reset must
+// re-home (not orphan) the PoP's Known Flows entries, and end-to-end
+// delivery must continue through the rebuilt mappings — in particular
+// after the final rebind, proving return traffic follows the new outer
+// address instead of blackholing to the stale one.
+func TestNATRebindFlowsRehome(t *testing.T) {
+	cfg := DefaultNATRebindConfig()
+	res, err := RunNATRebind(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MappingsDropped < cfg.Rebinds {
+		t.Errorf("MappingsDropped = %d, want >= %d (one per rebind)", res.MappingsDropped, cfg.Rebinds)
+	}
+	// Each rebind presents every flow from a new outer port; each must
+	// re-home exactly once per rebind (a lost first-round packet defers
+	// the move to the second round, never skips it).
+	wantMoves := uint64(cfg.Flows * cfg.Rebinds)
+	if res.FlowMoves < wantMoves*9/10 {
+		t.Errorf("FlowMoves = %d, want >= %d", res.FlowMoves, wantMoves*9/10)
+	}
+	if res.DroppedReplies != 0 {
+		t.Errorf("DroppedReplies = %d: rebinds orphaned flow entries", res.DroppedReplies)
+	}
+	if res.RcvdAfterLastRebind < int64(cfg.Flows) {
+		t.Errorf("only %d echoes delivered after the final rebind, want >= %d (a full round)",
+			res.RcvdAfterLastRebind, cfg.Flows)
+	}
+	if res.DeliveredPct < 90 {
+		t.Errorf("delivered %.1f%% of echoes across rebinds, want >= 90%%", res.DeliveredPct)
+	}
+}

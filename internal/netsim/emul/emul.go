@@ -28,6 +28,7 @@ type Link struct {
 	delayNanos atomic.Int64 // one-way delay
 	down       atomic.Bool
 	lossPct    atomic.Int64 // 0..100
+	filter     atomic.Pointer[func(pkt []byte) bool]
 
 	mu    sync.Mutex
 	paths map[string]*net.UDPConn // client addr -> upstream socket
@@ -86,6 +87,38 @@ func (l *Link) SetLossPct(pct int) {
 	l.lossPct.Store(int64(pct))
 }
 
+// SetFilter installs a client→target forwarding predicate: datagrams
+// for which f returns false are dropped silently at the link front,
+// before any delay or relay work is scheduled. A nil f forwards
+// everything. Experiments use this to suppress one traffic class (for
+// example bulk data while keeping probes alive) without modeling it as
+// loss, which would also hit the class being measured.
+func (l *Link) SetFilter(f func(pkt []byte) bool) {
+	if f == nil {
+		l.filter.Store(nil)
+		return
+	}
+	l.filter.Store(&f)
+}
+
+// Rebind drops every upstream socket, modeling a NAT device expiring or
+// rebuilding its port mappings (reboot, conntrack flush, carrier-grade
+// NAT churn). The next datagram from each client is forwarded through a
+// freshly bound socket, so the target sees the same inner flows arrive
+// from brand-new outer source ports. Packets already in flight on the
+// old sockets are lost, as they would be through a real NAT reset.
+// Returns the number of mappings dropped.
+func (l *Link) Rebind() int {
+	l.mu.Lock()
+	n := len(l.paths)
+	for k, c := range l.paths {
+		_ = c.Close()
+		delete(l.paths, k)
+	}
+	l.mu.Unlock()
+	return n
+}
+
 // Close stops the relay.
 func (l *Link) Close() error {
 	select {
@@ -126,6 +159,9 @@ func (l *Link) frontLoop() {
 			return
 		}
 		if l.drop() {
+			continue
+		}
+		if f := l.filter.Load(); f != nil && !(*f)(buf[:n]) {
 			continue
 		}
 		pkt := append([]byte(nil), buf[:n]...)

@@ -163,6 +163,52 @@ func TestLinkMultipleClients(t *testing.T) {
 	}
 }
 
+// TestLinkRebindChangesSourcePort: after Rebind the target must see the
+// same client's traffic arrive from a fresh source port, and echoes must
+// still route back to the client.
+func TestLinkRebindChangesSourcePort(t *testing.T) {
+	// An echo server that also reports the peer it saw.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	peers := make(chan string, 16)
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			peers <- from.String()
+			_, _ = conn.WriteToUDP(buf[:n], from)
+		}
+	}()
+
+	link, err := NewLink(conn.LocalAddr().String(), time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	c := dial(t, link.Addr())
+	if _, ok := rtt(t, c, time.Second); !ok {
+		t.Fatal("no echo before rebind")
+	}
+	before := <-peers
+
+	if n := link.Rebind(); n != 1 {
+		t.Fatalf("Rebind dropped %d mappings, want 1", n)
+	}
+	if _, ok := rtt(t, c, time.Second); !ok {
+		t.Fatal("no echo after rebind: return path not re-established")
+	}
+	after := <-peers
+	if before == after {
+		t.Fatalf("rebind kept source address %s", before)
+	}
+}
+
 func TestLinkCloseIdempotent(t *testing.T) {
 	echo := udpEcho(t)
 	link, err := NewLink(echo, 0, 6)

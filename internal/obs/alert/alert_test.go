@@ -162,6 +162,63 @@ func TestAbsenceNeedsAdvancingGate(t *testing.T) {
 	}
 }
 
+// TestBlackoutIgnoresFailedSends: an edge whose socket writes all fail
+// counts SendErrors, not ProbesSent, so the blackout gate
+// (tm_edge_probes_sent_total) stays flat and the absence rule must not
+// fire — nothing was actually put on the wire, so absent replies carry
+// no signal. Pre-fix accounting bumped ProbesSent on failed writes,
+// which advanced the gate and produced a false blackout here.
+func TestBlackoutIgnoresFailedSends(t *testing.T) {
+	st := newPushStore()
+	e := NewEngine(st.Store, []Rule{ProbeBlackoutRule(3, 1)}, Options{})
+	// Healthy warmup so the rule has history.
+	sent, recv, errs := 50.0, 50.0, 0.0
+	for i := 0; i < 3; i++ {
+		sent += 10
+		recv += 10
+		if trs := e.Eval(st.round(map[string]float64{
+			"tm_edge_probes_sent_total":   sent,
+			"tm_edge_probe_replies_total": recv,
+			"tm_edge_send_errors_total":   errs,
+		})); len(trs) != 0 {
+			t.Fatalf("healthy probes must not alert: %+v", trs)
+		}
+	}
+	// Socket breaks: every write fails. With the fixed accounting only
+	// send_errors advances; probes_sent and replies both flatline.
+	for i := 0; i < 6; i++ {
+		errs += 10
+		trs := e.Eval(st.round(map[string]float64{
+			"tm_edge_probes_sent_total":   sent,
+			"tm_edge_probe_replies_total": recv,
+			"tm_edge_send_errors_total":   errs,
+		}))
+		for _, tr := range trs {
+			if tr.To == StateFiring {
+				t.Fatalf("blackout fired on a flat gate (failed sends must not advance probes_sent): %+v", tr)
+			}
+		}
+	}
+	// Socket recovers: sends advance again, replies still absent — now
+	// the blackout is real and must fire.
+	var fired bool
+	for i := 0; i < 6 && !fired; i++ {
+		sent += 10
+		for _, tr := range e.Eval(st.round(map[string]float64{
+			"tm_edge_probes_sent_total":   sent,
+			"tm_edge_probe_replies_total": recv,
+			"tm_edge_send_errors_total":   errs,
+		})) {
+			if tr.To == StateFiring {
+				fired = true
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("real blackout (sends advancing, replies absent) never fired")
+	}
+}
+
 func TestEWMADriftFiresAndSelfResolves(t *testing.T) {
 	st := newPushStore()
 	e := NewEngine(st.Store, []Rule{{

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"painter/internal/obs"
 	"painter/internal/obs/span"
+	"painter/internal/tm/netio"
 	"painter/internal/tmproto"
 )
 
@@ -68,6 +71,13 @@ type EdgeConfig struct {
 	// carrying the trace so the PoP's flow re-home joins the same
 	// trace. Nil disables tracing at one-branch cost.
 	Tracer *span.Tracer
+
+	// Sockets is the SO_REUSEPORT socket count for the tunnel datapath
+	// (0 ⇒ one per CPU, capped; see netio.Config).
+	Sockets int
+	// Batch is the max datagrams per syscall (0 ⇒ 32; 1 forces the
+	// portable single-packet path).
+	Batch int
 }
 
 // DefaultEdgeConfig returns production-shaped defaults (timers scaled
@@ -132,13 +142,22 @@ type Event struct {
 	Trace span.Context
 }
 
-// destState is the edge's view of one tunnel destination.
+// destState is the edge's view of one tunnel destination. The fields
+// read on the Send fast path (aliveFlag, removed, addr, gre, greKey)
+// are immutable or atomic so pinned flows tunnel without taking e.mu;
+// everything else is guarded by e.mu.
 type destState struct {
-	dest tmproto.Destination
-	addr *net.UDPAddr
+	dest   tmproto.Destination
+	addr   netip.AddrPort
+	gre    bool
+	greKey uint32
 
-	alive       bool
-	rttEWMA     float64 // ms
+	aliveFlag atomic.Bool
+	// removed marks a destState dropped by SetDestinations; flows still
+	// pinned to it re-pin on their next send.
+	removed atomic.Bool
+
+	rttEWMA     float64 // ms, guarded by e.mu
 	lastReply   time.Time
 	lastProbe   time.Time
 	awaitingSeq uint32
@@ -151,10 +170,23 @@ type destState struct {
 	quarantined  bool
 }
 
+func (ds *destState) alive() bool     { return ds.aliveFlag.Load() }
+func (ds *destState) setAlive(v bool) { ds.aliveFlag.Store(v) }
+
+// probeRecord is one outstanding probe: which destination it went to
+// and when it left, recorded with the local monotonic clock. RTT is
+// computed from sentAt, never from the wall-clock timestamp echoed on
+// the wire — a stepped clock (NTP correction) must not corrupt the RTT
+// EWMA or discard live replies.
+type probeRecord struct {
+	key    string
+	sentAt time.Time
+}
+
 // Edge is a running TM-Edge.
 type Edge struct {
-	cfg  EdgeConfig
-	conn *net.UDPConn
+	cfg   EdgeConfig
+	group *netio.Group
 
 	mu       sync.Mutex
 	dests    map[string]*destState // keyed by addr string
@@ -162,9 +194,8 @@ type Edge struct {
 	// lastSelected remembers the previous selection even after its
 	// destination died, so failovers triggered by death are attributed.
 	lastSelected *tmproto.Destination
-	flows        map[tmproto.FlowKey]string
 	seq          uint32
-	seqOwner     map[uint32]string
+	seqOwner     map[uint32]probeRecord
 
 	// probeSpans holds the open span of each outstanding traced probe,
 	// keyed by sequence number and bounded by the same GC as seqOwner.
@@ -173,13 +204,27 @@ type Edge struct {
 	// detection through flow re-pin); nil when none. Guarded by mu.
 	failover *span.Span
 
+	// flows pins each flow to its destination, striped by flow-key hash
+	// so concurrent senders don't serialize on e.mu.
+	flows *flowMap[*destState]
+
+	greSeq atomic.Uint32
+
 	wg     sync.WaitGroup
 	closed chan struct{}
 
-	m edgeMetrics
+	m  edgeMetrics
+	st edgeCounters
+}
 
-	statsMu sync.Mutex
-	stats   EdgeStats
+// edgeCounters are the hot-path counters, atomic so data sends and
+// batched reads never serialize on a stats mutex.
+type edgeCounters struct {
+	probesSent, repliesRcvd atomic.Uint64
+	dataSent, dataRcvd      atomic.Uint64
+	failovers, repins       atomic.Uint64
+	quarantines             atomic.Uint64
+	sendErrors              atomic.Uint64
 }
 
 // EdgeStats counts edge activity.
@@ -189,6 +234,11 @@ type EdgeStats struct {
 	Failovers               uint64
 	RepinnedFlows           uint64
 	Quarantines             uint64
+	// SendErrors counts tunnel datagrams (probes and data) whose socket
+	// write failed. Failed probe sends do NOT count toward ProbesSent —
+	// otherwise a blackout detector gated on probes-sent would read a
+	// broken socket as "probing fine, replies absent".
+	SendErrors uint64
 }
 
 // NewEdge starts a TM-Edge with the given configuration.
@@ -211,34 +261,39 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	if cfg.QuarantineAfter <= 0 {
 		cfg.QuarantineAfter = 3
 	}
-	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	group, err := netio.Listen("127.0.0.1:0", netio.Config{Sockets: cfg.Sockets, Batch: cfg.Batch})
 	if err != nil {
 		return nil, fmt.Errorf("tm: edge listen: %w", err)
 	}
-	_ = conn.SetReadBuffer(1 << 20)
-	_ = conn.SetWriteBuffer(1 << 20)
 	e := &Edge{
 		cfg:        cfg,
-		conn:       conn,
+		group:      group,
 		dests:      make(map[string]*destState),
-		flows:      make(map[tmproto.FlowKey]string),
-		seqOwner:   make(map[uint32]string),
+		seqOwner:   make(map[uint32]probeRecord),
 		probeSpans: make(map[uint32]*span.Span),
+		flows:      newFlowMap[*destState](),
 		closed:     make(chan struct{}),
 	}
 	if err := e.SetDestinations(cfg.Destinations); err != nil {
-		_ = conn.Close()
+		_ = group.Close()
 		return nil, err
 	}
 	e.m = newEdgeMetrics(cfg.Obs, e)
-	e.wg.Add(2)
-	go e.readLoop()
+	for _, c := range group.Conns() {
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+	e.wg.Add(1)
 	go e.probeLoop()
 	return e, nil
 }
 
+// conn returns the socket used for originated traffic (probes, data).
+// Replies arrive on whichever group socket the kernel hashes them to.
+func (e *Edge) conn() netio.Conn { return e.group.Conns()[0] }
+
 // Addr returns the edge's local UDP address.
-func (e *Edge) Addr() string { return e.conn.LocalAddr().String() }
+func (e *Edge) Addr() string { return e.group.Addr().String() }
 
 // SetDestinations replaces the destination set. Existing flows pinned to
 // removed destinations are re-pinned on next send.
@@ -255,14 +310,16 @@ func (e *Edge) SetDestinations(dests []tmproto.Destination) error {
 		if _, ok := e.dests[key]; ok {
 			continue
 		}
-		ua, err := net.ResolveUDPAddr("udp", key)
-		if err != nil {
-			return err
+		e.dests[key] = &destState{
+			dest:   d,
+			addr:   netip.AddrPortFrom(d.Addr, d.Port),
+			gre:    d.GRE,
+			greKey: d.PoP,
 		}
-		e.dests[key] = &destState{dest: d, addr: ua}
 	}
-	for key := range e.dests {
+	for key, ds := range e.dests {
 		if !seen[key] {
+			ds.removed.Store(true)
 			delete(e.dests, key)
 			if e.selected == key {
 				e.selected = ""
@@ -312,9 +369,16 @@ func (e *Edge) ResolveFrom(popAddr, service string, timeout time.Duration) error
 
 // Stats returns a snapshot.
 func (e *Edge) Stats() EdgeStats {
-	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	return e.stats
+	return EdgeStats{
+		ProbesSent:    e.st.probesSent.Load(),
+		RepliesRcvd:   e.st.repliesRcvd.Load(),
+		DataSent:      e.st.dataSent.Load(),
+		DataRcvd:      e.st.dataRcvd.Load(),
+		Failovers:     e.st.failovers.Load(),
+		RepinnedFlows: e.st.repins.Load(),
+		Quarantines:   e.st.quarantines.Load(),
+		SendErrors:    e.st.sendErrors.Load(),
+	}
 }
 
 // Close stops the edge.
@@ -325,7 +389,7 @@ func (e *Edge) Close() error {
 	default:
 	}
 	close(e.closed)
-	err := e.conn.Close()
+	err := e.group.Close()
 	e.wg.Wait()
 	e.mu.Lock()
 	e.failover.Finish()
@@ -357,7 +421,7 @@ func (e *Edge) Status() []DestinationStatus {
 	for key, ds := range e.dests {
 		out = append(out, DestinationStatus{
 			Dest:        ds.dest,
-			Alive:       ds.alive,
+			Alive:       ds.alive(),
 			RTT:         time.Duration(ds.rttEWMA * float64(time.Millisecond)),
 			Selected:    key == e.selected,
 			Quarantined: ds.quarantined,
@@ -384,61 +448,78 @@ func (e *Edge) Selected() (tmproto.Destination, bool) {
 // lifetime (§3.2) — unless its destination has died, in which case the
 // flow re-pins (connection state is lost, which the paper accepts in
 // exchange for not building a handover system).
+//
+// The steady-state path — flow pinned, destination alive — touches only
+// the flow stripe and the socket: no edge-wide lock.
 func (e *Edge) Send(flow tmproto.FlowKey, payload []byte) error {
+	if ds, ok := e.flows.Get(flow); ok && !ds.removed.Load() && ds.alive() {
+		return e.sendData(ds, flow, payload, tmproto.TraceContext{})
+	}
+	return e.sendSlow(flow, payload)
+}
+
+// sendSlow pins (or re-pins) the flow under e.mu, then sends.
+func (e *Edge) sendSlow(flow tmproto.FlowKey, payload []byte) error {
 	var trace tmproto.TraceContext
 	e.mu.Lock()
-	key, pinned := e.flows[flow]
-	ds := e.dests[key]
-	if !pinned || ds == nil || !ds.alive {
-		sel := e.dests[e.selected]
-		if sel == nil || !sel.alive {
-			// Fall back to any alive destination.
-			sel = nil
-			for _, cand := range e.sortedDestsLocked() {
-				if cand.alive {
-					sel = cand
-					break
-				}
-			}
-		}
-		if sel == nil {
-			e.mu.Unlock()
-			return fmt.Errorf("tm: no alive destination")
-		}
-		if pinned {
-			e.statsMu.Lock()
-			e.stats.RepinnedFlows++
-			e.statsMu.Unlock()
-			e.m.repins.Inc()
-			// The re-pin concludes the open failover chain. The data
-			// packet carries the re-pin span's context so the PoP's
-			// Known Flows re-home records into the same trace.
-			if e.failover != nil {
-				rp := e.failover.StartChild("tm.edge.repin",
-					span.A("flow", flow.String()),
-					span.A("dest", destKey(sel.dest)))
-				trace = tmproto.TraceContext(rp.Context())
-				rp.Finish()
-				e.failover.Finish()
-				e.failover = nil
-			}
-		}
-		e.flows[flow] = destKey(sel.dest)
-		ds = sel
+	ds, pinned := e.flows.Get(flow)
+	if pinned && !ds.removed.Load() && ds.alive() {
+		// Raced with another sender that already re-pinned.
+		e.mu.Unlock()
+		return e.sendData(ds, flow, payload, tmproto.TraceContext{})
 	}
-	addr := ds.addr
+	sel := e.dests[e.selected]
+	if sel == nil || !sel.alive() {
+		// Fall back to any alive destination.
+		sel = nil
+		for _, cand := range e.sortedDestsLocked() {
+			if cand.alive() {
+				sel = cand
+				break
+			}
+		}
+	}
+	if sel == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("tm: no alive destination")
+	}
+	if pinned {
+		e.st.repins.Add(1)
+		e.m.repins.Inc()
+		// The re-pin concludes the open failover chain. The data
+		// packet carries the re-pin span's context so the PoP's
+		// Known Flows re-home records into the same trace.
+		if e.failover != nil {
+			rp := e.failover.StartChild("tm.edge.repin",
+				span.A("flow", flow.String()),
+				span.A("dest", destKey(sel.dest)))
+			trace = tmproto.TraceContext(rp.Context())
+			rp.Finish()
+			e.failover.Finish()
+			e.failover = nil
+		}
+	}
+	e.flows.Set(flow, sel)
 	e.mu.Unlock()
+	return e.sendData(sel, flow, payload, trace)
+}
 
+// sendData encapsulates and writes one data packet in the destination's
+// wire mode.
+func (e *Edge) sendData(ds *destState, flow tmproto.FlowKey, payload []byte, trace tmproto.TraceContext) error {
 	out, err := tmproto.AppendData(nil, tmproto.Data{Flow: flow, Payload: payload, Trace: trace})
 	if err != nil {
 		return err
 	}
-	if _, err := e.conn.WriteToUDP(out, addr); err != nil {
+	if ds.gre {
+		out = tmproto.AppendGRE(make([]byte, 0, tmproto.GREOverhead+len(out)), ds.greKey, e.greSeq.Add(1), out)
+	}
+	if _, err := e.conn().WriteBatch([]netio.Message{{Buf: out, N: len(out), Addr: ds.addr}}); err != nil {
+		e.st.sendErrors.Add(1)
+		e.m.sendErrors.Inc()
 		return err
 	}
-	e.statsMu.Lock()
-	e.stats.DataSent++
-	e.statsMu.Unlock()
+	e.st.dataSent.Add(1)
 	e.m.dataSent.Inc()
 	return nil
 }
@@ -483,11 +564,7 @@ func (e *Edge) probeLoop() {
 
 // probeRound sends due probes and expires silent destinations.
 func (e *Edge) probeRound(now time.Time) {
-	type sendReq struct {
-		addr *net.UDPAddr
-		pkt  []byte
-	}
-	var sends []sendReq
+	var sends []netio.Message
 	var events []Event
 
 	e.mu.Lock()
@@ -506,8 +583,8 @@ func (e *Edge) probeRound(now time.Time) {
 		// on a single probe) makes isolated packet loss survivable: the
 		// prober pipelines probes below, so a healthy-but-lossy path
 		// keeps producing replies.
-		if ds.awaiting && ds.alive && now.Sub(ds.lastReply) > timeout {
-			ds.alive = false
+		if ds.awaiting && ds.alive() && now.Sub(ds.lastReply) > timeout {
+			ds.setAlive(false)
 			ds.deadProbes = 0
 			ds.quarantined = false
 			ds.nextRecovery = now // first recovery probe goes out at once
@@ -554,7 +631,7 @@ func (e *Edge) probeRound(now time.Time) {
 		// full probe rate but recovery is still noticed (the probe that
 		// finally answers marks it alive again).
 		var due bool
-		if ds.alive {
+		if ds.alive() {
 			due = now.Sub(ds.lastProbe) >= e.cfg.ProbeInterval || ds.lastProbe.IsZero()
 		} else {
 			due = !now.Before(ds.nextRecovery)
@@ -565,18 +642,19 @@ func (e *Edge) probeRound(now time.Time) {
 			ds.awaitingSeq = seq
 			ds.awaiting = true
 			ds.lastProbe = now
-			e.seqOwner[seq] = key
+			// Record the send time locally: RTT is computed with the
+			// monotonic clock on reply, never from the wall-clock
+			// timestamp echoed over the wire.
+			e.seqOwner[seq] = probeRecord{key: key, sentAt: now}
 			e.gcSeqOwnerLocked()
-			if !ds.alive {
+			if !ds.alive() {
 				ds.deadProbes++
 				backoff := e.backoffAfter(ds.deadProbes, seq)
 				ds.nextRecovery = now.Add(backoff)
 				e.m.backoffMs.Observe(float64(backoff) / float64(time.Millisecond))
 				if !ds.quarantined && ds.deadProbes >= e.cfg.QuarantineAfter {
 					ds.quarantined = true
-					e.statsMu.Lock()
-					e.stats.Quarantines++
-					e.statsMu.Unlock()
+					e.st.quarantines.Add(1)
 					events = append(events, Event{
 						Kind: EventDestQuarantined, Dest: ds.dest, At: now,
 						Backoff: backoff,
@@ -596,20 +674,38 @@ func (e *Edge) probeRound(now time.Time) {
 				}
 			}
 			pkt := tmproto.AppendProbe(nil, wp, false)
-			sends = append(sends, sendReq{addr: ds.addr, pkt: pkt})
+			if ds.gre {
+				pkt = tmproto.AppendGRE(make([]byte, 0, tmproto.GREOverhead+len(pkt)), ds.greKey, e.greSeq.Add(1), pkt)
+			}
+			sends = append(sends, netio.Message{Buf: pkt, N: len(pkt), Addr: ds.addr})
 		}
 	}
 	events = append(events, e.reselectLocked(now)...)
 	e.mu.Unlock()
 
-	for _, s := range sends {
-		_, _ = e.conn.WriteToUDP(s.pkt, s.addr)
-		e.statsMu.Lock()
-		e.stats.ProbesSent++
-		e.statsMu.Unlock()
-		e.m.probesSent.Inc()
-	}
+	e.writeProbes(sends)
 	e.emit(events)
+}
+
+// writeProbes flushes a probe batch, counting successes and failures
+// separately: ProbesSent moves only for datagrams that actually left
+// the socket, send failures land in SendErrors. A poisoned message is
+// skipped and the rest of the batch still goes out.
+func (e *Edge) writeProbes(sends []netio.Message) {
+	conn := e.conn()
+	for len(sends) > 0 {
+		sent, err := conn.WriteBatch(sends)
+		if sent > 0 {
+			e.st.probesSent.Add(uint64(sent))
+			e.m.probesSent.Add(uint64(sent))
+		}
+		if err == nil {
+			return
+		}
+		e.st.sendErrors.Add(1)
+		e.m.sendErrors.Inc()
+		sends = sends[sent+1:] // sends[sent] is the failed message
+	}
 }
 
 // reselectLocked applies the selection policy over the alive
@@ -618,7 +714,7 @@ func (e *Edge) reselectLocked(now time.Time) []Event {
 	var cands []DestinationStatus
 	var states []*destState
 	for _, ds := range e.sortedDestsLocked() {
-		if ds.alive && ds.everReplied {
+		if ds.alive() && ds.everReplied {
 			cands = append(cands, DestinationStatus{
 				Dest:     ds.dest,
 				Alive:    true,
@@ -662,9 +758,7 @@ func (e *Edge) reselectLocked(now time.Time) []Event {
 		rs.Finish()
 	}
 	if prev != nil {
-		e.statsMu.Lock()
-		e.stats.Failovers++
-		e.statsMu.Unlock()
+		e.st.failovers.Add(1)
 		e.m.failovers.Inc()
 	}
 	return []Event{{
@@ -696,24 +790,39 @@ func (e *Edge) backoffAfter(n int, seq uint32) time.Duration {
 	return time.Duration(b * f)
 }
 
+// seqBefore reports whether sequence s precedes cut in wraparound-safe
+// serial-number arithmetic (RFC 1982 style): "before" means s is within
+// half the sequence space behind cut, so the comparison stays correct
+// when the uint32 counter wraps.
+func seqBefore(s, cut uint32) bool { return int32(s-cut) < 0 }
+
 // gcSeqOwnerLocked bounds the outstanding-probe registry: when it grows
-// past 8192 entries, the oldest half (lowest sequence numbers) is
-// dropped. Caller holds e.mu.
+// past 8192 entries, entries older than half the window are dropped —
+// except any sequence a destination is still awaiting. Evicting an
+// awaited sequence would make that destination's reply unattributable,
+// reading a live-but-slow destination as permanently silent (false
+// quarantine under wide fan-out). Caller holds e.mu.
 func (e *Edge) gcSeqOwnerLocked() {
 	const maxEntries = 8192
 	if len(e.seqOwner) <= maxEntries {
 		return
 	}
+	awaited := make(map[uint32]bool, len(e.dests))
+	for _, ds := range e.dests {
+		if ds.awaiting {
+			awaited[ds.awaitingSeq] = true
+		}
+	}
 	cut := e.seq - maxEntries/2
 	for s := range e.seqOwner {
-		if s < cut {
+		if seqBefore(s, cut) && !awaited[s] {
 			delete(e.seqOwner, s)
 		}
 	}
 	// probeSpans is bounded by the same cut, so an unanswered traced
 	// probe cannot leak its span forever.
 	for s, ps := range e.probeSpans {
-		if s < cut {
+		if seqBefore(s, cut) && !awaited[s] {
 			delete(e.probeSpans, s)
 			ps.SetAttr("lost", "true")
 			ps.Finish()
@@ -730,60 +839,84 @@ func (e *Edge) emit(events []Event) {
 	}
 }
 
-// readLoop handles probe replies and return data.
-func (e *Edge) readLoop() {
+// readLoop drains one group socket: probe replies and return data, in
+// batches, unwrapping GRE frames when the peer mirrors that mode.
+func (e *Edge) readLoop(conn netio.Conn) {
 	defer e.wg.Done()
-	buf := make([]byte, 64*1024)
+	ms := make([]netio.Message, e.group.Batch())
+	for i := range ms {
+		ms[i].Buf = make([]byte, netio.MaxDatagram)
+	}
 	for {
-		n, _, err := e.conn.ReadFromUDP(buf)
+		n, err := conn.ReadBatch(ms)
 		if err != nil {
 			return
 		}
-		t, err := tmproto.PeekType(buf[:n])
-		if err != nil {
-			continue
-		}
-		switch t {
-		case tmproto.TypeProbeReply:
-			p, _, err := tmproto.ParseProbe(buf[:n])
+		for i := 0; i < n; i++ {
+			b := ms[i].Buf[:ms[i].N]
+			inner := b
+			if tmproto.DetectMode(b) == tmproto.WireGRE {
+				_, _, in, gerr := tmproto.ParseGRE(b)
+				if gerr != nil {
+					continue
+				}
+				inner = in
+			}
+			t, err := tmproto.PeekType(inner)
 			if err != nil {
 				continue
 			}
-			e.handleProbeReply(p)
-		case tmproto.TypeData:
-			d, err := tmproto.ParseData(buf[:n])
-			if err != nil {
-				continue
-			}
-			e.statsMu.Lock()
-			e.stats.DataRcvd++
-			e.statsMu.Unlock()
-			e.m.dataRcvd.Inc()
-			if e.cfg.OnReturn != nil {
-				payload := append([]byte(nil), d.Payload...)
-				e.cfg.OnReturn(d.Flow, payload)
+			switch t {
+			case tmproto.TypeProbeReply:
+				p, _, err := tmproto.ParseProbe(inner)
+				if err != nil {
+					continue
+				}
+				e.handleProbeReply(p)
+			case tmproto.TypeData:
+				d, err := tmproto.ParseData(inner)
+				if err != nil {
+					continue
+				}
+				e.st.dataRcvd.Add(1)
+				e.m.dataRcvd.Inc()
+				if e.cfg.OnReturn != nil {
+					payload := append([]byte(nil), d.Payload...)
+					e.cfg.OnReturn(d.Flow, payload)
+				}
 			}
 		}
 	}
 }
 
+// handleProbeReply attributes a reply to its outstanding probe. RTT is
+// time.Since the locally recorded send time — monotonic, so a wall
+// clock stepped forward cannot inflate the EWMA and one stepped
+// backward cannot make a live reply look like it arrived before it was
+// sent (which previously discarded the reply and left the destination
+// awaiting, to be declared dead while answering every probe).
 func (e *Edge) handleProbeReply(p tmproto.Probe) {
 	now := time.Now()
-	rttMs := float64(now.UnixNano()-p.SentUnixNano) / 1e6
-	if rttMs < 0 {
-		return
-	}
 	var events []Event
 	e.mu.Lock()
+	rec, ok := e.seqOwner[p.Seq]
+	var rttMs float64
+	if ok {
+		rttMs = float64(now.Sub(rec.sentAt)) / float64(time.Millisecond)
+		if rttMs < 0 {
+			rttMs = 0 // monotonic time never goes back; defensive only
+		}
+	}
 	if ps := e.probeSpans[p.Seq]; ps != nil {
 		delete(e.probeSpans, p.Seq)
-		ps.SetAttr("rtt_ms", fmt.Sprintf("%.2f", rttMs))
+		if ok {
+			ps.SetAttr("rtt_ms", fmt.Sprintf("%.2f", rttMs))
+		}
 		ps.Finish()
 	}
-	key, ok := e.seqOwner[p.Seq]
 	if ok {
 		delete(e.seqOwner, p.Seq)
-		if ds := e.dests[key]; ds != nil {
+		if ds := e.dests[rec.key]; ds != nil {
 			ds.awaiting = false
 			ds.lastReply = now
 			if !ds.everReplied {
@@ -793,8 +926,8 @@ func (e *Edge) handleProbeReply(p tmproto.Probe) {
 				const alpha = 0.3
 				ds.rttEWMA = (1-alpha)*ds.rttEWMA + alpha*rttMs
 			}
-			if !ds.alive {
-				ds.alive = true
+			if !ds.alive() {
+				ds.setAlive(true)
 				ds.deadProbes = 0
 				ds.quarantined = false
 				ds.nextRecovery = time.Time{}
@@ -805,10 +938,10 @@ func (e *Edge) handleProbeReply(p tmproto.Probe) {
 		}
 	}
 	e.mu.Unlock()
-	e.statsMu.Lock()
-	e.stats.RepliesRcvd++
-	e.statsMu.Unlock()
+	e.st.repliesRcvd.Add(1)
 	e.m.repliesRcvd.Inc()
-	e.m.probeRTTMs.Observe(rttMs)
+	if ok {
+		e.m.probeRTTMs.Observe(rttMs)
+	}
 	e.emit(events)
 }

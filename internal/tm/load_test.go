@@ -1,12 +1,14 @@
 package tm
 
 import (
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"painter/internal/netsim/emul"
+	"painter/internal/tm/netio"
 	"painter/internal/tmproto"
 )
 
@@ -141,6 +143,115 @@ func TestManyConcurrentFlows(t *testing.T) {
 	}
 	if st := pop.Stats(); st.ActiveFlows < flows*95/100 {
 		t.Errorf("PoP Known Flows has %d entries, want ~%d", st.ActiveFlows, flows)
+	}
+}
+
+// TestHundredThousandFlows drives 10⁵ distinct flows into a PoP through
+// the batched client path and checks the sharded Known Flows table holds
+// all of them. Injection bypasses the emul relay (a per-packet goroutine
+// per datagram would dominate the run) and writes batched datagrams
+// straight at the PoP's sockets — exactly the datapath under test:
+// client WriteBatch → SO_REUSEPORT readers → batched reads → striped
+// table inserts. Runs under -race in `make race`; UDP gives no delivery
+// guarantee even on loopback, so rounds are resent until the table
+// converges.
+func TestHundredThousandFlows(t *testing.T) {
+	const flows = 100_000
+	pop, err := NewPoP(PoPConfig{
+		ListenAddr: "127.0.0.1:0",
+		PoPID:      1,
+		Service:    DiscardService{}, // echoing 10⁵ replies would measure the echo path
+		FlowTTL:    10 * time.Minute, // no purge races with the fill
+		Batch:      64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pop.Close()
+	target, err := netip.ParseAddrPort(pop.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := netio.Listen("127.0.0.1:0", netio.Config{Sockets: 1, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	conn := client.Conns()[0]
+
+	// Pre-build one datagram per flow: vary src addr and both ports so
+	// the keys cover the full stripe space.
+	pkts := make([][]byte, flows)
+	for i := range pkts {
+		fk := tmproto.FlowKey{
+			Proto:   17,
+			Src:     netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+			Dst:     netip.MustParseAddr("203.0.113.9"),
+			SrcPort: uint16(i),
+			DstPort: uint16(443 + i>>16),
+		}
+		pkt, err := tmproto.AppendData(nil, tmproto.Data{Flow: fk, Payload: []byte{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts[i] = pkt
+	}
+
+	// Loopback UDP has no flow control, so self-clock against the PoP's
+	// DataIn counter: never let more than `window` datagrams sit between
+	// sender and reader, which keeps the socket buffer from overflowing
+	// and makes a pass effectively lossless.
+	var sent uint64
+	const window = 2048
+	sendAll := func() {
+		ms := make([]netio.Message, 0, 64)
+		flush := func() {
+			for len(ms) > 0 {
+				n, err := conn.WriteBatch(ms)
+				sent += uint64(n)
+				if err != nil {
+					n++ // skip the poisoned message, resume behind it
+				}
+				ms = ms[n:]
+			}
+			ms = ms[:0]
+			for sent > pop.Stats().DataIn+window {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		for _, pkt := range pkts {
+			ms = append(ms, netio.Message{Buf: pkt, N: len(pkt), Addr: target})
+			if len(ms) == cap(ms) {
+				flush()
+			}
+		}
+		flush()
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for round := 0; ; round++ {
+		sendAll()
+		settle := time.Now().Add(2 * time.Second)
+		for time.Now().Before(settle) && pop.Stats().ActiveFlows < flows {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if pop.Stats().ActiveFlows >= flows {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("after %d rounds the table holds %d of %d flows", round+1, pop.Stats().ActiveFlows, flows)
+		}
+	}
+	st := pop.Stats()
+	if st.ActiveFlows != flows {
+		t.Fatalf("ActiveFlows = %d, want exactly %d (no duplicate keys)", st.ActiveFlows, flows)
+	}
+	if st.DataIn < flows {
+		t.Fatalf("DataIn = %d, want >= %d", st.DataIn, flows)
+	}
+	if st.Malformed != 0 {
+		t.Fatalf("Malformed = %d on well-formed batched input", st.Malformed)
 	}
 }
 

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package netio
+
+import (
+	"errors"
+	"net"
+)
+
+const reusePortAvailable = false
+
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	return nil, errors.New("netio: SO_REUSEPORT unavailable on this platform")
+}

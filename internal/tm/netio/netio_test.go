@@ -1,0 +1,282 @@
+package netio
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mkMsgs allocates a read batch with full-size buffers.
+func mkMsgs(n, size int) []Message {
+	ms := make([]Message, n)
+	for i := range ms {
+		ms[i].Buf = make([]byte, size)
+	}
+	return ms
+}
+
+// echoOnce reads one batch and writes every message straight back.
+func echoLoop(t *testing.T, c Conn, stop <-chan struct{}) {
+	ms := mkMsgs(64, 2048)
+	for {
+		n, err := c.ReadBatch(ms)
+		if err != nil {
+			return
+		}
+		if _, err := c.WriteBatch(ms[:n]); err != nil {
+			select {
+			case <-stop:
+				return
+			default:
+				t.Errorf("echo write: %v", err)
+				return
+			}
+		}
+	}
+}
+
+// roundTrip pushes count datagrams through a server group and counts
+// the echoes, exercising whatever arm cfg selects.
+func roundTrip(t *testing.T, serverCfg, clientCfg Config, count int) {
+	t.Helper()
+	srv, err := Listen("127.0.0.1:0", serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	for _, c := range srv.Conns() {
+		go echoLoop(t, c, stop)
+	}
+
+	cli, err := Listen("127.0.0.1:0", clientCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	conn := cli.Conns()[0]
+
+	var rcvd sync.Map
+	done := make(chan int)
+	go func() {
+		got := 0
+		ms := mkMsgs(64, 2048)
+		deadline := time.After(10 * time.Second)
+		for got < count {
+			type result struct {
+				n   int
+				err error
+			}
+			ch := make(chan result, 1)
+			go func() {
+				n, err := conn.ReadBatch(ms)
+				ch <- result{n, err}
+			}()
+			select {
+			case r := <-ch:
+				if r.err != nil {
+					done <- got
+					return
+				}
+				for i := 0; i < r.n; i++ {
+					rcvd.Store(string(ms[i].Buf[:ms[i].N]), true)
+					got++
+				}
+			case <-deadline:
+				done <- got
+				return
+			}
+		}
+		done <- got
+	}()
+
+	out := make([]Message, 0, count)
+	for i := 0; i < count; i++ {
+		payload := []byte(fmt.Sprintf("pkt-%04d", i))
+		out = append(out, Message{Buf: payload, N: len(payload), Addr: srv.Addr()})
+	}
+	// Send in chunks so a slow echo server's socket buffer keeps up.
+	for off := 0; off < len(out); off += 16 {
+		end := off + 16
+		if end > len(out) {
+			end = len(out)
+		}
+		if _, err := conn.WriteBatch(out[off:end]); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	got := <-done
+	// UDP on loopback is effectively lossless at these rates, but keep a
+	// margin rather than a flake.
+	if got < count*9/10 {
+		t.Fatalf("echoed %d of %d datagrams", got, count)
+	}
+}
+
+func TestSinglePacketArm(t *testing.T) {
+	roundTrip(t, Config{Sockets: 1, Batch: 1}, Config{Sockets: 1, Batch: 1}, 64)
+}
+
+func TestBatchedArm(t *testing.T) {
+	if !(&Group{cfg: Config{Batch: 32}.normalized()}).Batched() {
+		t.Skip("batched I/O unavailable on this platform")
+	}
+	roundTrip(t, Config{Sockets: 1, Batch: 32}, Config{Sockets: 1, Batch: 32}, 256)
+}
+
+// TestCrossArm checks wire compatibility: a batched server must echo a
+// single-packet client's datagrams and vice versa (same bytes, same
+// socket semantics — the arms differ only in syscall count).
+func TestCrossArm(t *testing.T) {
+	if !(&Group{cfg: Config{Batch: 32}.normalized()}).Batched() {
+		t.Skip("batched I/O unavailable on this platform")
+	}
+	roundTrip(t, Config{Sockets: 1, Batch: 32}, Config{Sockets: 1, Batch: 1}, 128)
+	roundTrip(t, Config{Sockets: 1, Batch: 1}, Config{Sockets: 1, Batch: 32}, 128)
+}
+
+// TestReusePortGroup fans traffic across a multi-socket group and
+// checks every datagram is seen exactly once across the group's
+// sockets.
+func TestReusePortGroup(t *testing.T) {
+	if !reusePortAvailable {
+		t.Skip("SO_REUSEPORT unavailable on this platform")
+	}
+	srv, err := Listen("127.0.0.1:0", Config{Sockets: 3, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if len(srv.Conns()) < 2 {
+		t.Fatalf("group has %d sockets, want >= 2", len(srv.Conns()))
+	}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var wg sync.WaitGroup
+	for _, c := range srv.Conns() {
+		wg.Add(1)
+		go func(c Conn) {
+			defer wg.Done()
+			ms := mkMsgs(16, 512)
+			for {
+				n, err := c.ReadBatch(ms)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				for i := 0; i < n; i++ {
+					seen[string(ms[i].Buf[:ms[i].N])]++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+
+	// Many distinct 4-tuples so the kernel's hash spreads them: one
+	// client socket per batch of sends.
+	const clients, per = 8, 25
+	for ci := 0; ci < clients; ci++ {
+		cli, err := Listen("127.0.0.1:0", Config{Sockets: 1, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Message, per)
+		for i := range out {
+			p := []byte(fmt.Sprintf("c%d-%d", ci, i))
+			out[i] = Message{Buf: p, N: len(p), Addr: srv.Addr()}
+		}
+		if _, err := cli.Conns()[0].WriteBatch(out); err != nil {
+			t.Fatal(err)
+		}
+		cli.Close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == clients*per {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) < clients*per*9/10 {
+		t.Fatalf("saw %d of %d datagrams", len(seen), clients*per)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("datagram %q delivered %d times", k, n)
+		}
+	}
+}
+
+// TestWriteBatchErrorPosition pins the per-message error contract:
+// sendto to port 0 fails with EINVAL, the failing message's index is
+// the returned sent count, and the caller can resume past it. Both
+// arms must agree.
+func TestWriteBatchErrorPosition(t *testing.T) {
+	for _, batch := range []int{1, 32} {
+		srv, err := Listen("127.0.0.1:0", Config{Sockets: 1, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := Listen("127.0.0.1:0", Config{Sockets: 1, Batch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		bad := netip.AddrPortFrom(netip.MustParseAddr("192.0.2.1"), 0)
+		p := []byte("x")
+		ms := []Message{
+			{Buf: p, N: 1, Addr: srv.Addr()},
+			{Buf: p, N: 1, Addr: bad},
+			{Buf: p, N: 1, Addr: srv.Addr()},
+		}
+		sent, err := cli.Conns()[0].WriteBatch(ms)
+		if err == nil {
+			t.Fatalf("batch=%d: port-0 destination did not error", batch)
+		}
+		if sent != 1 {
+			t.Fatalf("batch=%d: sent = %d before the bad message, want 1", batch, sent)
+		}
+		// Resume after the poisoned message.
+		if n, err := cli.Conns()[0].WriteBatch(ms[sent+1:]); err != nil || n != 1 {
+			t.Fatalf("batch=%d: resume after error: n=%d err=%v", batch, n, err)
+		}
+		cli.Close()
+		srv.Close()
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	g, err := Listen("127.0.0.1:0", Config{Sockets: 1, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		ms := mkMsgs(8, 512)
+		_, err := g.Conns()[0].ReadBatch(ms)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	g.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("ReadBatch returned nil after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ReadBatch did not unblock on Close")
+	}
+}

@@ -1,0 +1,37 @@
+//go:build linux
+
+package netio
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+const reusePortAvailable = true
+
+// soReusePort is SO_REUSEPORT, absent from the frozen syscall package.
+const soReusePort = 0xf
+
+// listenReusePort binds a UDP socket with SO_REUSEPORT set before
+// bind(2), so several sockets can share one port and the kernel fans
+// flows across them by 4-tuple hash.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

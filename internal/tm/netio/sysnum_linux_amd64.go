@@ -1,0 +1,12 @@
+//go:build linux && amd64
+
+package netio
+
+// sendmmsg postdates the frozen syscall-package number table on amd64,
+// so both numbers live here (arch_x86_64: recvmmsg 299, sendmmsg 307,
+// sendmsg 46 — kept alongside for the GSO path's cmsg-carrying send).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+	sysSendmsg  = 46
+)

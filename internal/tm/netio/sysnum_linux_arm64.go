@@ -1,0 +1,11 @@
+//go:build linux && arm64
+
+package netio
+
+// Generic 64-bit syscall table: recvmmsg 243, sendmmsg 269, sendmsg 211
+// (the GSO path's cmsg-carrying send).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+	sysSendmsg  = 211
+)

@@ -22,6 +22,7 @@ type edgeMetrics struct {
 	dataRcvd    *obs.Counter
 	failovers   *obs.Counter
 	repins      *obs.Counter
+	sendErrors  *obs.Counter
 
 	events map[EventKind]*obs.Counter
 }
@@ -41,6 +42,7 @@ func newEdgeMetrics(r *obs.Registry, e *Edge) edgeMetrics {
 		dataRcvd:    r.Counter("tm_edge_data_rcvd_total", "tunneled return payloads received"),
 		failovers:   r.Counter("tm_edge_failovers_total", "selection changes away from a previously selected destination"),
 		repins:      r.Counter("tm_edge_repinned_flows_total", "flows re-pinned after their destination died"),
+		sendErrors:  r.Counter("tm_edge_send_errors_total", "tunnel datagrams whose socket write failed (excluded from probes-sent)"),
 
 		events: make(map[EventKind]*obs.Counter, 4),
 	}
@@ -57,7 +59,7 @@ func newEdgeMetrics(r *obs.Registry, e *Edge) edgeMetrics {
 		defer e.mu.Unlock()
 		n := 0
 		for _, ds := range e.dests {
-			if ds.alive {
+			if ds.alive() {
 				n++
 			}
 		}
@@ -77,6 +79,8 @@ type popMetrics struct {
 	flowMoves *obs.Counter
 	dropped   *obs.Counter
 	purged    *obs.Counter
+
+	overloadWaits *obs.Counter
 }
 
 func newPoPMetrics(r *obs.Registry, p *PoP) popMetrics {
@@ -93,11 +97,11 @@ func newPoPMetrics(r *obs.Registry, p *PoP) popMetrics {
 		flowMoves: r.Counter("tm_pop_flow_moves_total", "Known Flows entries re-homed to a new edge"),
 		dropped:   r.Counter("tm_pop_dropped_replies_total", "service replies with no live flow entry"),
 		purged:    r.Counter("tm_pop_purged_flows_total", "idle Known Flows entries purged"),
+
+		overloadWaits: r.Counter("tm_pop_overload_waits_total", "read batches that waited on a full service worker queue"),
 	}
 	r.GaugeFunc("tm_pop_active_flows", "live Known Flows entries", func() float64 {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		return float64(len(p.flows))
+		return float64(p.flows.Len())
 	})
 	return m
 }

@@ -1,0 +1,106 @@
+package tmproto
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// GRE-style framing: a second wire mode in which every TM datagram is
+// wrapped in an RFC 2890-shaped GRE header carrying a key (the tunnel
+// identity) and a sequence number. Middleboxes and flow-samplers that
+// already understand GRE-over-UDP can then classify TM tunnels without
+// learning the native protocol, at the cost of GREOverhead extra bytes
+// per packet.
+//
+// The two modes are distinguishable from the first byte alone: a native
+// datagram starts with Magic 0x5041 (byte 0x50), a GRE frame with the
+// fixed flag byte 0x30 (key-present | sequence-present). DetectMode
+// classifies a datagram; receivers that speak both modes answer in the
+// mode the peer used, so the choice is negotiated per destination (the
+// Destination.GRE flag in a resolve reply) with no handshake.
+
+// Wire layout, 12 bytes before the inner native datagram:
+//
+//	byte 0    0x30  — flags: key present (0x20) | sequence present (0x10)
+//	byte 1    0x00  — version 0
+//	bytes 2-3 protocol type, ProtoTypeTM (the TM magic, reused as an
+//	          ethertype-style code point)
+//	bytes 4-7 key    (uint32, big-endian)
+//	bytes 8-11 seq   (uint32, big-endian)
+const (
+	greFlagByte = 0x30
+	// ProtoTypeTM is the GRE protocol-type code point for an inner TM
+	// datagram.
+	ProtoTypeTM uint16 = Magic
+	// GREOverhead is the framing cost per datagram in GRE mode.
+	GREOverhead = 12
+)
+
+// WireMode says how a datagram is framed on the tunnel.
+type WireMode uint8
+
+const (
+	// WireNative is the bare TM datagram (the default).
+	WireNative WireMode = iota
+	// WireGRE wraps each TM datagram in a GRE-style header.
+	WireGRE
+)
+
+func (m WireMode) String() string {
+	if m == WireGRE {
+		return "gre"
+	}
+	return "native"
+}
+
+// GRE decode errors.
+var (
+	ErrNotGRE   = errors.New("tmproto: not a GRE frame")
+	ErrGREFlags = errors.New("tmproto: unsupported GRE flags/version")
+	ErrGREProto = errors.New("tmproto: GRE protocol type not TM")
+)
+
+// DetectMode classifies a datagram by its first byte. It never errors:
+// garbage classifies as WireNative and then fails native parsing, so
+// malformed-counter accounting stays in one place.
+func DetectMode(b []byte) WireMode {
+	if len(b) > 0 && b[0] == greFlagByte {
+		return WireGRE
+	}
+	return WireNative
+}
+
+// AppendGRE wraps inner (a complete native TM datagram) in a GRE frame,
+// appending to dst.
+func AppendGRE(dst []byte, key, seq uint32, inner []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, GREOverhead)...)
+	h := dst[off:]
+	h[0] = greFlagByte
+	h[1] = 0
+	binary.BigEndian.PutUint16(h[2:4], ProtoTypeTM)
+	binary.BigEndian.PutUint32(h[4:8], key)
+	binary.BigEndian.PutUint32(h[8:12], seq)
+	return append(dst, inner...)
+}
+
+// ParseGRE unwraps a GRE frame, returning the key, sequence number and
+// a zero-copy view of the inner native datagram. The inner datagram is
+// not itself validated — feed it to PeekType/Parse* as usual.
+func ParseGRE(b []byte) (key, seq uint32, inner []byte, err error) {
+	if len(b) < GREOverhead {
+		return 0, 0, nil, ErrTooShort
+	}
+	if b[0] != greFlagByte {
+		return 0, 0, nil, ErrNotGRE
+	}
+	if b[1] != 0 {
+		return 0, 0, nil, ErrGREFlags
+	}
+	if binary.BigEndian.Uint16(b[2:4]) != ProtoTypeTM {
+		return 0, 0, nil, ErrGREProto
+	}
+	return binary.BigEndian.Uint32(b[4:8]),
+		binary.BigEndian.Uint32(b[8:12]),
+		b[GREOverhead:], nil
+}

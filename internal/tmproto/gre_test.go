@@ -1,0 +1,141 @@
+package tmproto
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+func TestGRERoundTrip(t *testing.T) {
+	inner := AppendProbe(nil, Probe{Seq: 42, SentUnixNano: 1234}, false)
+	frame := AppendGRE(nil, 0xdeadbeef, 77, inner)
+	if len(frame) != len(inner)+GREOverhead {
+		t.Fatalf("frame len = %d, want %d", len(frame), len(inner)+GREOverhead)
+	}
+	key, seq, got, err := ParseGRE(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != 0xdeadbeef || seq != 77 {
+		t.Fatalf("key/seq = %#x/%d", key, seq)
+	}
+	if !bytes.Equal(got, inner) {
+		t.Fatal("inner datagram changed")
+	}
+	// The inner bytes parse as the original probe.
+	p, reply, err := ParseProbe(got)
+	if err != nil || reply || p.Seq != 42 {
+		t.Fatalf("inner probe: %+v/%v (%v)", p, reply, err)
+	}
+}
+
+func TestGREAppendsToExisting(t *testing.T) {
+	prefix := []byte("prefix")
+	frame := AppendGRE(append([]byte(nil), prefix...), 1, 2, []byte("inner"))
+	if !bytes.HasPrefix(frame, prefix) {
+		t.Fatal("AppendGRE clobbered the prefix")
+	}
+	if _, _, inner, err := ParseGRE(frame[len(prefix):]); err != nil || string(inner) != "inner" {
+		t.Fatalf("inner = %q (%v)", inner, err)
+	}
+}
+
+// TestDetectMode pins the one-byte mode discriminator: native datagrams
+// lead with the magic's high byte (0x50), GRE frames with the fixed
+// flag byte (0x30). Both receivers branch on this before parsing.
+func TestDetectMode(t *testing.T) {
+	native := AppendProbe(nil, Probe{Seq: 1}, false)
+	if m := DetectMode(native); m != WireNative {
+		t.Fatalf("native datagram detected as %v", m)
+	}
+	if native[0] != 0x50 {
+		t.Fatalf("native first byte = %#x", native[0])
+	}
+	gre := AppendGRE(nil, 9, 9, native)
+	if m := DetectMode(gre); m != WireGRE {
+		t.Fatalf("GRE frame detected as %v", m)
+	}
+	if m := DetectMode(nil); m != WireNative {
+		t.Fatalf("empty datagram detected as %v", m)
+	}
+	if WireNative.String() != "native" || WireGRE.String() != "gre" {
+		t.Fatal("WireMode strings")
+	}
+}
+
+func TestParseGREErrors(t *testing.T) {
+	good := AppendGRE(nil, 1, 2, AppendProbe(nil, Probe{Seq: 3}, false))
+
+	short := good[:GREOverhead-1]
+	if _, _, _, err := ParseGRE(short); err != ErrTooShort {
+		t.Fatalf("short frame: %v", err)
+	}
+
+	notGRE := append([]byte(nil), good...)
+	notGRE[0] = 0x50
+	if _, _, _, err := ParseGRE(notGRE); err != ErrNotGRE {
+		t.Fatalf("native bytes: %v", err)
+	}
+
+	badVer := append([]byte(nil), good...)
+	badVer[1] = 0x07
+	if _, _, _, err := ParseGRE(badVer); err != ErrGREFlags {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	badProto := append([]byte(nil), good...)
+	badProto[2], badProto[3] = 0x08, 0x00 // ethertype IPv4, not TM
+	if _, _, _, err := ParseGRE(badProto); err != ErrGREProto {
+		t.Fatalf("bad proto: %v", err)
+	}
+}
+
+// TestDestinationGREFlag checks the flags byte carries GRE alongside
+// anycast, and that pre-GRE encodings (bare 0/1) still parse.
+func TestDestinationGREFlag(t *testing.T) {
+	dests := []Destination{
+		{Addr: netip.MustParseAddr("198.51.100.1"), Port: 4000, PoP: 1},
+		{Addr: netip.MustParseAddr("198.51.100.2"), Port: 4001, PoP: 2, Anycast: true},
+		{Addr: netip.MustParseAddr("198.51.100.3"), Port: 4002, PoP: 3, GRE: true},
+		{Addr: netip.MustParseAddr("198.51.100.4"), Port: 4003, PoP: 4, Anycast: true, GRE: true},
+	}
+	buf, err := AppendResolveReply(nil, ResolveReply{Service: "svc", Destinations: dests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseResolveReply(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range out.Destinations {
+		if d != dests[i] {
+			t.Fatalf("destination %d: %+v != %+v", i, d, dests[i])
+		}
+	}
+}
+
+// FuzzGREDecode throws arbitrary bytes at the GRE decoder: it must
+// never panic, and whatever parses must re-frame byte-identically.
+func FuzzGREDecode(f *testing.F) {
+	inner := AppendProbe(nil, Probe{Seq: 5, SentUnixNano: 99}, false)
+	f.Add(AppendGRE(nil, 0, 0, inner))
+	f.Add(AppendGRE(nil, 0xffffffff, 0xffffffff, nil))
+	f.Add(AppendGRE(nil, 7, 8, []byte("not a TM datagram")))
+	f.Add([]byte{})
+	f.Add([]byte{0x30})
+	f.Add([]byte{0x30, 0x00, 0x50, 0x41})
+	f.Add(bytes.Repeat([]byte{0x30}, 64))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		key, seq, in, err := ParseGRE(b)
+		if err != nil {
+			return
+		}
+		out := AppendGRE(nil, key, seq, in)
+		if !bytes.Equal(out, b) {
+			t.Fatalf("GRE re-frame changed bytes: %x -> %x", b, out)
+		}
+		if DetectMode(b) != WireGRE {
+			t.Fatal("parsed GRE frame not detected as GRE")
+		}
+	})
+}

@@ -314,7 +314,17 @@ type Destination struct {
 	PoP  uint32
 	// Anycast marks the always-available anycast destination.
 	Anycast bool
+	// GRE asks the edge to speak the GRE wire mode to this destination
+	// (see gre.go). Absent ⇒ native framing.
+	GRE bool
 }
+
+// Destination flag bits (the trailing byte of each wire record; the
+// byte was 0/1 for anycast through PR 9, so bit 0 keeps that meaning).
+const (
+	destFlagAnycast = 1 << 0
+	destFlagGRE     = 1 << 1
+)
 
 const destLen = 4 + 2 + 4 + 1
 
@@ -392,7 +402,10 @@ func AppendResolveReply(dst []byte, r ResolveReply) ([]byte, error) {
 		binary.BigEndian.PutUint16(buf[4:6], d.Port)
 		binary.BigEndian.PutUint32(buf[6:10], d.PoP)
 		if d.Anycast {
-			buf[10] = 1
+			buf[10] |= destFlagAnycast
+		}
+		if d.GRE {
+			buf[10] |= destFlagGRE
 		}
 		dst = append(dst, buf[:]...)
 	}
@@ -433,7 +446,8 @@ func ParseResolveReply(b []byte) (ResolveReply, error) {
 			Addr:    netip.AddrFrom4([4]byte(b[q : q+4])),
 			Port:    binary.BigEndian.Uint16(b[q+4 : q+6]),
 			PoP:     binary.BigEndian.Uint32(b[q+6 : q+10]),
-			Anycast: b[q+10] == 1,
+			Anycast: b[q+10]&destFlagAnycast != 0,
+			GRE:     b[q+10]&destFlagGRE != 0,
 		})
 	}
 	return out, nil
